@@ -1,0 +1,484 @@
+//! The §2.1 availability estimators.
+//!
+//! Per block, each adaptive-probing round yields `p` positive responses of
+//! `t` total probes. The estimators smooth these with exponentially
+//! weighted moving averages, tracking the numerator and denominator
+//! *separately* — applying EWMA to the ratio directly skews the estimate
+//! (for the same reason normalized benchmark results need geometric means):
+//!
+//! ```text
+//! p̂s = αs·p + (1−αs)·p̂s        t̂s = αs·t + (1−αs)·t̂s        Âs = p̂s/t̂s
+//! ```
+//!
+//! with `αs = 0.1`; the long-term pair uses `αl = 0.01`. The *operational*
+//! estimate must not exceed the true availability — Trinocular would emit
+//! false outages otherwise — so it subtracts half the smoothed absolute
+//! deviation and floors at 0.1:
+//!
+//! ```text
+//! d̂l = αl·|Âl − p/t| + (1−αl)·d̂l        Âo = max(Âl − d̂l/2, 0.1)
+//! ```
+//!
+//! [`DirectEwmaEstimator`] implements the variation the paper's `A12w`
+//! dataset used (EWMA directly on `p/t`), which consistently over-estimates
+//! — kept for the ablation experiment.
+
+/// Gains and floors; defaults are the paper's.
+#[derive(Debug, Clone, Copy)]
+pub struct EwmaConfig {
+    /// Short-term gain `αs` (paper: 0.1).
+    pub alpha_short: f64,
+    /// Long-term gain `αl` (paper: 0.01).
+    pub alpha_long: f64,
+    /// Floor on the operational estimate (paper: 0.1 — smaller values make
+    /// Trinocular probe excessively).
+    pub min_operational: f64,
+}
+
+impl Default for EwmaConfig {
+    fn default() -> Self {
+        EwmaConfig { alpha_short: 0.1, alpha_long: 0.01, min_operational: 0.1 }
+    }
+}
+
+/// The three estimates after a round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimates {
+    /// Short-term `Âs` — noisy, fast; drives diurnal detection.
+    pub a_short: f64,
+    /// Long-term `Âl`.
+    pub a_long: f64,
+    /// Conservative operational `Âo ≤ Âl`; drives Trinocular's belief.
+    pub a_operational: f64,
+}
+
+/// Paper-faithful availability estimator for one block.
+#[derive(Debug, Clone)]
+pub struct AvailabilityEstimator {
+    cfg: EwmaConfig,
+    p_short: f64,
+    t_short: f64,
+    p_long: f64,
+    t_long: f64,
+    deviation: f64,
+    rounds: u64,
+}
+
+impl AvailabilityEstimator {
+    /// Starts from a historical availability estimate (`initial_a`), which
+    /// may be significantly stale (§2.1.1); the estimator must converge
+    /// away from it.
+    pub fn new(initial_a: f64, cfg: EwmaConfig) -> Self {
+        let a0 = initial_a.clamp(0.0, 1.0);
+        AvailabilityEstimator {
+            cfg,
+            p_short: a0,
+            t_short: 1.0,
+            p_long: a0,
+            t_long: 1.0,
+            deviation: 0.0,
+            rounds: 0,
+        }
+    }
+
+    /// [`AvailabilityEstimator::new`] with the paper's gains.
+    pub fn with_default_config(initial_a: f64) -> Self {
+        Self::new(initial_a, EwmaConfig::default())
+    }
+
+    /// Ingests one round of `positives` of `total` probes and returns the
+    /// updated estimates. Rounds with zero probes leave state untouched.
+    pub fn observe(&mut self, positives: u32, total: u32) -> Estimates {
+        debug_assert!(positives <= total, "p = {positives} > t = {total}");
+        if total == 0 {
+            return self.estimates();
+        }
+        let p = positives as f64;
+        let t = total as f64;
+        let (als, all) = (self.cfg.alpha_short, self.cfg.alpha_long);
+
+        self.p_short = als * p + (1.0 - als) * self.p_short;
+        self.t_short = als * t + (1.0 - als) * self.t_short;
+        self.p_long = all * p + (1.0 - all) * self.p_long;
+        self.t_long = all * t + (1.0 - all) * self.t_long;
+
+        let a_long = self.p_long / self.t_long;
+        self.deviation = all * (a_long - p / t).abs() + (1.0 - all) * self.deviation;
+        self.rounds += 1;
+        self.estimates()
+    }
+
+    /// The current estimates without observing anything.
+    pub fn estimates(&self) -> Estimates {
+        let a_long = self.p_long / self.t_long;
+        Estimates {
+            a_short: self.p_short / self.t_short,
+            a_long,
+            a_operational: (a_long - self.deviation / 2.0).max(self.cfg.min_operational),
+        }
+    }
+
+    /// Short-term `Âs`.
+    pub fn a_short(&self) -> f64 {
+        self.p_short / self.t_short
+    }
+
+    /// Long-term `Âl`.
+    pub fn a_long(&self) -> f64 {
+        self.p_long / self.t_long
+    }
+
+    /// Operational `Âo`.
+    pub fn a_operational(&self) -> f64 {
+        self.estimates().a_operational
+    }
+
+    /// Rounds ingested so far.
+    pub fn rounds_observed(&self) -> u64 {
+        self.rounds
+    }
+}
+
+/// The `A12w`-era variation: EWMA applied directly to the per-round ratio
+/// `p/t`. Because adaptive probing stops on the first positive, single-probe
+/// all-positive rounds (ratio 1.0) carry the same weight as long
+/// mostly-negative rounds, so this estimator systematically over-estimates.
+#[derive(Debug, Clone)]
+pub struct DirectEwmaEstimator {
+    alpha: f64,
+    a: f64,
+}
+
+impl DirectEwmaEstimator {
+    /// Starts from a historical estimate, with gain `alpha`.
+    pub fn new(initial_a: f64, alpha: f64) -> Self {
+        DirectEwmaEstimator { alpha, a: initial_a.clamp(0.0, 1.0) }
+    }
+
+    /// Ingests one round; returns the updated estimate.
+    pub fn observe(&mut self, positives: u32, total: u32) -> f64 {
+        if total > 0 {
+            let ratio = positives as f64 / total as f64;
+            self.a = self.alpha * ratio + (1.0 - self.alpha) * self.a;
+        }
+        self.a
+    }
+
+    /// The current estimate.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates adaptive probing of a block with true availability `a`:
+    /// probe addresses until one answers or `max` probes are spent (the
+    /// positive-response bias the paper corrects for).
+    fn adaptive_round(a: f64, max: u32, state: &mut u64) -> (u32, u32) {
+        let mut t = 0;
+        for _ in 0..max {
+            t += 1;
+            // xorshift for cheap reproducible draws
+            *state ^= *state << 13;
+            *state ^= *state >> 7;
+            *state ^= *state << 17;
+            let u = (*state >> 11) as f64 / (1u64 << 53) as f64;
+            if u < a {
+                return (1, t);
+            }
+        }
+        (0, t)
+    }
+
+    #[test]
+    fn converges_to_constant_availability() {
+        let mut est = AvailabilityEstimator::with_default_config(0.9);
+        let mut rng = 42u64;
+        let truth = 0.35;
+        for _ in 0..3_000 {
+            let (p, t) = adaptive_round(truth, 15, &mut rng);
+            est.observe(p, t);
+        }
+        let e = est.estimates();
+        assert!((e.a_short - truth).abs() < 0.10, "Âs = {}", e.a_short);
+        assert!((e.a_long - truth).abs() < 0.05, "Âl = {}", e.a_long);
+    }
+
+    #[test]
+    fn operational_stays_below_long_term() {
+        let mut est = AvailabilityEstimator::with_default_config(0.5);
+        let mut rng = 7u64;
+        for _ in 0..2_000 {
+            let (p, t) = adaptive_round(0.6, 15, &mut rng);
+            let e = est.observe(p, t);
+            assert!(e.a_operational <= e.a_long + 1e-12);
+        }
+    }
+
+    #[test]
+    fn operational_rarely_exceeds_truth_once_converged() {
+        // The design goal: Âo under-estimates (paper: 94 % of rounds).
+        let truth = 0.55;
+        let mut est = AvailabilityEstimator::with_default_config(truth);
+        let mut rng = 99u64;
+        let mut over = 0;
+        let mut total = 0;
+        for i in 0..5_000 {
+            let (p, t) = adaptive_round(truth, 15, &mut rng);
+            let e = est.observe(p, t);
+            if i > 500 {
+                total += 1;
+                if e.a_operational > truth {
+                    over += 1;
+                }
+            }
+        }
+        let frac_over = over as f64 / total as f64;
+        assert!(frac_over < 0.10, "Âo exceeded truth {:.1}% of rounds", frac_over * 100.0);
+    }
+
+    #[test]
+    fn operational_floor_applies() {
+        let mut est = AvailabilityEstimator::with_default_config(0.05);
+        for _ in 0..100 {
+            let e = est.observe(0, 15);
+            assert!(e.a_operational >= 0.1);
+        }
+    }
+
+    #[test]
+    fn stale_initialization_decays() {
+        // Start way off (0.9) against a truth of 0.2; the short-term
+        // estimate must cross below 0.4 within ~50 rounds (gain 0.1).
+        let mut est = AvailabilityEstimator::with_default_config(0.9);
+        let mut rng = 5u64;
+        let mut crossed_at = None;
+        for i in 0..400 {
+            let (p, t) = adaptive_round(0.2, 15, &mut rng);
+            let e = est.observe(p, t);
+            if e.a_short < 0.4 && crossed_at.is_none() {
+                crossed_at = Some(i);
+            }
+        }
+        assert!(crossed_at.expect("must converge") < 60);
+    }
+
+    #[test]
+    fn short_term_reacts_faster_than_long_term() {
+        let mut est = AvailabilityEstimator::with_default_config(0.8);
+        // Healthy block: single positive probe per round.
+        for _ in 0..500 {
+            est.observe(1, 1);
+        }
+        // Sudden drop to zero availability (full 15-probe rounds).
+        for _ in 0..30 {
+            est.observe(0, 15);
+        }
+        let e = est.estimates();
+        assert!(e.a_short < 0.05, "Âs should collapse, got {}", e.a_short);
+        // Âl lags well behind — note the count-EWMA moves faster downward
+        // than a ratio EWMA would, because failing rounds carry 15× the
+        // probe weight of healthy ones.
+        assert!(e.a_long > 3.0 * e.a_short, "Âl should lag Âs: {} vs {}", e.a_long, e.a_short);
+        assert!(e.a_long > 0.1, "Âl lag floor, got {}", e.a_long);
+    }
+
+    #[test]
+    fn zero_probe_rounds_are_ignored(){
+        let mut est = AvailabilityEstimator::with_default_config(0.5);
+        let before = est.estimates();
+        let after = est.observe(0, 0);
+        assert_eq!(before, after);
+        assert_eq!(est.rounds_observed(), 0);
+    }
+
+    #[test]
+    fn ratio_tracking_beats_direct_ewma_under_adaptive_bias() {
+        // The §2.1.2 claim: direct EWMA of the ratio over-estimates under
+        // stop-on-first-positive probing; separate (p, t) tracking doesn't.
+        let truth = 0.3;
+        let mut paper = AvailabilityEstimator::with_default_config(truth);
+        let mut direct = DirectEwmaEstimator::new(truth, 0.1);
+        let mut rng = 2024u64;
+        let mut paper_sum = 0.0;
+        let mut direct_sum = 0.0;
+        let mut n = 0.0;
+        for i in 0..8_000 {
+            let (p, t) = adaptive_round(truth, 15, &mut rng);
+            let e = paper.observe(p, t);
+            let d = direct.observe(p, t);
+            if i > 1_000 {
+                paper_sum += e.a_short;
+                direct_sum += d;
+                n += 1.0;
+            }
+        }
+        let paper_mean = paper_sum / n;
+        let direct_mean = direct_sum / n;
+        assert!(
+            direct_mean > truth + 0.05,
+            "direct EWMA should over-estimate: {direct_mean} vs {truth}"
+        );
+        assert!(
+            (paper_mean - truth).abs() < 0.05,
+            "ratio tracking should be unbiased: {paper_mean} vs {truth}"
+        );
+        assert!(direct_mean > paper_mean);
+    }
+
+    #[test]
+    fn estimates_accessors_agree() {
+        let mut est = AvailabilityEstimator::with_default_config(0.5);
+        est.observe(3, 5);
+        let e = est.estimates();
+        assert_eq!(e.a_short, est.a_short());
+        assert_eq!(e.a_long, est.a_long());
+        assert_eq!(e.a_operational, est.a_operational());
+    }
+
+    #[test]
+    fn custom_gains_change_dynamics() {
+        let fast = EwmaConfig { alpha_short: 0.5, ..Default::default() };
+        let mut a = AvailabilityEstimator::new(0.0, fast);
+        let mut b = AvailabilityEstimator::with_default_config(0.0);
+        a.observe(1, 1);
+        b.observe(1, 1);
+        assert!(a.a_short() > b.a_short());
+    }
+}
+
+/// Holt's double-exponential (level + trend) estimator — a trend-aware
+/// alternative to the paper's plain EWMA, included for comparison on
+/// drifting blocks. Tracks the per-round availability ratio with an
+/// explicit slope term, so slow renumbering drifts don't lag the level.
+#[derive(Debug, Clone)]
+pub struct HoltEstimator {
+    alpha: f64,
+    beta: f64,
+    level: f64,
+    trend: f64,
+    primed: bool,
+}
+
+impl HoltEstimator {
+    /// Creates the estimator with smoothing gains `alpha` (level) and
+    /// `beta` (trend).
+    pub fn new(initial_a: f64, alpha: f64, beta: f64) -> Self {
+        HoltEstimator {
+            alpha,
+            beta,
+            level: initial_a.clamp(0.0, 1.0),
+            trend: 0.0,
+            primed: false,
+        }
+    }
+
+    /// Ingests one round; returns the updated level estimate.
+    pub fn observe(&mut self, positives: u32, total: u32) -> f64 {
+        if total == 0 {
+            return self.a();
+        }
+        let x = positives as f64 / total as f64;
+        if !self.primed {
+            // First real observation replaces the (possibly stale) prior.
+            self.level = x;
+            self.primed = true;
+            return self.a();
+        }
+        let prev_level = self.level;
+        self.level = self.alpha * x + (1.0 - self.alpha) * (self.level + self.trend);
+        self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+        self.a()
+    }
+
+    /// Current level, clamped to a probability.
+    pub fn a(&self) -> f64 {
+        self.level.clamp(0.0, 1.0)
+    }
+
+    /// Current per-round trend estimate.
+    pub fn trend(&self) -> f64 {
+        self.trend
+    }
+
+    /// Forecast `k` rounds ahead.
+    pub fn forecast(&self, k: u32) -> f64 {
+        (self.level + self.trend * k as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod holt_tests {
+    use super::*;
+
+    #[test]
+    fn tracks_linear_drift_without_lag() {
+        // Availability ramps 0.2 → 0.8 over 500 rounds (a fast renumbering
+        // drift); the plain EWMA lags by slope·(1−α)/α ≈ 0.011 while
+        // Holt's trend term cancels the lag.
+        let mut holt = HoltEstimator::new(0.2, 0.1, 0.05);
+        let mut plain = DirectEwmaEstimator::new(0.2, 0.1);
+        let rounds = 500u32;
+        let mut holt_err = 0.0;
+        let mut plain_err = 0.0;
+        let mut n = 0.0;
+        for r in 0..rounds {
+            let truth = 0.2 + 0.6 * r as f64 / rounds as f64;
+            // Fine-grained observation: 100 probes per round.
+            let p = (truth * 100.0).round() as u32;
+            let h = holt.observe(p, 100);
+            let d = plain.observe(p, 100);
+            if r > 100 {
+                holt_err += (h - truth).abs();
+                plain_err += (d - truth).abs();
+                n += 1.0;
+            }
+        }
+        let (he, pe) = (holt_err / n, plain_err / n);
+        assert!(he < pe * 0.5, "holt {he} vs plain {pe}");
+    }
+
+    #[test]
+    fn first_observation_overrides_stale_prior() {
+        let mut h = HoltEstimator::new(0.9, 0.1, 0.05);
+        h.observe(1, 10);
+        assert!((h.a() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_is_clamped() {
+        let mut h = HoltEstimator::new(0.5, 0.5, 0.5);
+        for _ in 0..100 {
+            h.observe(10, 10);
+        }
+        assert!(h.a() <= 1.0);
+        assert!(h.forecast(1_000) <= 1.0);
+        for _ in 0..200 {
+            h.observe(0, 10);
+        }
+        assert!(h.a() >= 0.0);
+        assert!(h.forecast(1_000) >= 0.0);
+    }
+
+    #[test]
+    fn flat_series_has_no_trend() {
+        let mut h = HoltEstimator::new(0.5, 0.1, 0.05);
+        for _ in 0..500 {
+            h.observe(6, 10);
+        }
+        assert!(h.trend().abs() < 1e-3, "trend {}", h.trend());
+        assert!((h.a() - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_probe_rounds_ignored() {
+        let mut h = HoltEstimator::new(0.4, 0.1, 0.05);
+        h.observe(5, 10);
+        let before = h.a();
+        h.observe(0, 0);
+        assert_eq!(h.a(), before);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the availability estimators and cleaning.
+
+use proptest::prelude::*;
+use sleepwatch_availability::{
+    cleaning::{bucket_rounds, fill_gaps, midnight_trim},
+    AvailabilityEstimator, EwmaConfig,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn estimates_stay_probabilities(
+        initial in 0.0f64..1.0,
+        rounds in prop::collection::vec((0u32..=15, 0u32..=15), 1..300),
+    ) {
+        let mut est = AvailabilityEstimator::new(initial, EwmaConfig::default());
+        for (a, b) in rounds {
+            let (p, t) = if a <= b { (a, b) } else { (b, a) };
+            let e = est.observe(p, t);
+            prop_assert!((0.0..=1.0).contains(&e.a_short), "Âs = {}", e.a_short);
+            prop_assert!((0.0..=1.0).contains(&e.a_long), "Âl = {}", e.a_long);
+            prop_assert!(e.a_operational <= e.a_long.max(0.1) + 1e-12);
+            prop_assert!(e.a_operational >= 0.1 - 1e-12, "floor violated");
+        }
+    }
+
+    #[test]
+    fn all_positive_rounds_drive_estimates_up(
+        initial in 0.0f64..0.5,
+        n in 50usize..300,
+    ) {
+        let mut est = AvailabilityEstimator::new(initial, EwmaConfig::default());
+        for _ in 0..n {
+            est.observe(1, 1);
+        }
+        prop_assert!(est.a_short() > 0.9, "Âs = {}", est.a_short());
+    }
+
+    #[test]
+    fn all_negative_rounds_drive_estimates_down(
+        initial in 0.5f64..1.0,
+        n in 100usize..400,
+    ) {
+        let mut est = AvailabilityEstimator::new(initial, EwmaConfig::default());
+        for _ in 0..n {
+            est.observe(0, 5);
+        }
+        prop_assert!(est.a_short() < 0.1, "Âs = {}", est.a_short());
+    }
+
+    #[test]
+    fn fill_gaps_preserves_observed_values(
+        sparse in prop::collection::vec(prop::option::of(0.0f64..1.0), 1..200),
+    ) {
+        let (dense, filled) = fill_gaps(&sparse);
+        prop_assert_eq!(dense.len(), sparse.len());
+        let gaps = sparse.iter().filter(|v| v.is_none()).count();
+        prop_assert_eq!(filled, gaps);
+        for (d, s) in dense.iter().zip(&sparse) {
+            if let Some(v) = s {
+                prop_assert_eq!(d, v);
+            }
+        }
+        // Every filled value equals some observed value (or 0 if none).
+        let observed: Vec<f64> = sparse.iter().flatten().copied().collect();
+        for d in &dense {
+            prop_assert!(observed.contains(d) || (observed.is_empty() && *d == 0.0));
+        }
+    }
+
+    #[test]
+    fn bucketing_never_exceeds_bounds(
+        obs in prop::collection::vec((0u64..500, 0.0f64..1.0), 0..300),
+        n in 1usize..400,
+    ) {
+        let b = bucket_rounds(&obs, n);
+        prop_assert_eq!(b.len(), n);
+    }
+
+    #[test]
+    fn midnight_trim_is_within_series_and_day_aligned(
+        start in 0u64..2_000_000_000,
+        len in 1usize..6_000,
+    ) {
+        let r = midnight_trim(start, len, 660);
+        prop_assert!(r.end <= len);
+        prop_assert!(r.start <= r.end);
+        if !r.is_empty() {
+            let t0 = start + r.start as u64 * 660;
+            // First kept sample lands within one round after a midnight.
+            prop_assert!(t0 % 86_400 < 660, "{}", t0 % 86_400);
+            // The kept span covers at least one whole day.
+            prop_assert!(r.len() as u64 * 660 >= 86_400 - 660);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Criterion benchmarks for the sleepwatch pipeline.
+//!
+//! One group per performance-relevant stage: the FFT kernels (power-of-two
+//! radix-2 vs Bluestein at the paper's survey/adaptive lengths), the EWMA
+//! estimators, Trinocular probing rounds, the diurnal classifier, reverse-
+//! DNS classification, ANOVA, and the full per-block analysis.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sleepwatch_availability::{AvailabilityEstimator, EwmaConfig};
+use sleepwatch_core::{analyze_block, AnalysisConfig};
+use sleepwatch_probing::{survey_block, TrinocularConfig, TrinocularProber};
+use sleepwatch_simnet::{BlockProfile, BlockSpec, World, WorldConfig};
+use sleepwatch_spectral::{
+    acf_diurnal, classify_series, fft_real, goertzel_amplitude, AcfConfig, LombScargle, Spectrum,
+};
+use sleepwatch_stats::anova::{anova_pair};
+
+fn diurnal_block(id: u64) -> BlockSpec {
+    BlockSpec::bare(
+        id,
+        42,
+        BlockProfile {
+            n_stable: 50,
+            n_diurnal: 150,
+            stable_avail: 0.9,
+            diurnal_avail: 0.85,
+            onset_hours: 8.0,
+            onset_spread: 2.0,
+            duration_hours: 9.0,
+            duration_spread: 1.0,
+            sigma_start: 0.5,
+            sigma_duration: 0.5,
+            utc_offset_hours: 0.0,
+        },
+    )
+}
+
+fn availability_series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 * 660.0 / 86_400.0;
+            0.5 + 0.3 * (std::f64::consts::TAU * t).sin()
+                + 0.05 * ((i as f64 * 12.9898).sin() * 43_758.545_3).fract()
+        })
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    // 2048: radix-2 path. 1833 / 4582: Bluestein paths at the paper's
+    // survey and A12w lengths.
+    for &n in &[2_048usize, 1_833, 4_582] {
+        let series = availability_series(n);
+        g.bench_with_input(BenchmarkId::new("fft_real", n), &series, |b, s| {
+            b.iter(|| black_box(fft_real(black_box(s))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    c.bench_function("estimator/10k_rounds", |b| {
+        b.iter(|| {
+            let mut est = AvailabilityEstimator::new(0.5, EwmaConfig::default());
+            for i in 0..10_000u32 {
+                est.observe((i % 2).min(1), 1 + (i % 5));
+            }
+            black_box(est.estimates())
+        });
+    });
+}
+
+fn bench_trinocular(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trinocular");
+    for (name, avail) in [("healthy", 0.9), ("low_availability", 0.2)] {
+        let block = BlockSpec::bare(1, 7, BlockProfile::always_on(200, avail));
+        g.bench_function(BenchmarkId::new("day_of_rounds", name), |b| {
+            b.iter(|| {
+                let mut p = TrinocularProber::new(&block, TrinocularConfig::default());
+                for r in 0..131u64 {
+                    black_box(p.round(&block, r, r * 660));
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_survey(c: &mut Criterion) {
+    let block = diurnal_block(3);
+    c.bench_function("survey/day_full_enumeration", |b| {
+        b.iter(|| black_box(survey_block(&block, 0, 131)));
+    });
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let series = availability_series(1_833);
+    c.bench_function("diurnal_classify/14_days", |b| {
+        b.iter(|| black_box(classify_series(black_box(&series))));
+    });
+    let spectrum = Spectrum::compute_rounds(&series);
+    c.bench_function("spectrum/strongest_bin", |b| {
+        b.iter(|| black_box(spectrum.strongest_bin()));
+    });
+    // Single-bin alternatives to the full FFT.
+    c.bench_function("goertzel/daily_bin", |b| {
+        b.iter(|| black_box(goertzel_amplitude(black_box(&series), 14)));
+    });
+    c.bench_function("acf/daily_test", |b| {
+        b.iter(|| black_box(acf_diurnal(black_box(&series), &AcfConfig::default())));
+    });
+    let samples: Vec<(f64, f64)> =
+        series.iter().enumerate().map(|(i, &v)| (i as f64 * 660.0, v)).collect();
+    c.bench_function("lomb_scargle/240_freqs", |b| {
+        b.iter(|| black_box(LombScargle::compute(black_box(&samples), 0.2, 6.0, 240)));
+    });
+}
+
+fn bench_linktype(c: &mut Criterion) {
+    let names: Vec<Option<String>> = (0..256)
+        .map(|i| {
+            if i % 7 == 0 {
+                None
+            } else {
+                Some(format!("dhcp-dsl-{i:03}.broadband.example.net"))
+            }
+        })
+        .collect();
+    c.bench_function("linktype/classify_block", |b| {
+        b.iter(|| {
+            black_box(sleepwatch_linktype::classify_block(
+                names.iter().map(|n| n.as_deref()),
+            ))
+        });
+    });
+}
+
+fn bench_anova(c: &mut Criterion) {
+    let n = 60;
+    let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let b2: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64).collect();
+    c.bench_function("anova/two_factor_with_interaction", |b| {
+        b.iter(|| black_box(anova_pair(&y, "a", &a, "b", &b2)));
+    });
+}
+
+fn bench_block_analysis(c: &mut Criterion) {
+    let block = diurnal_block(9);
+    let cfg = AnalysisConfig::over_days(0, 14.0);
+    c.bench_function("pipeline/analyze_block_14_days", |b| {
+        b.iter(|| black_box(analyze_block(&block, &cfg)));
+    });
+}
+
+fn bench_census(c: &mut Criterion) {
+    let block = diurnal_block(5);
+    let cfg = sleepwatch_probing::CensusConfig::default();
+    c.bench_function("census/eight_passes", |b| {
+        b.iter(|| black_box(sleepwatch_probing::run_census(&block, 1_000_000, &cfg)));
+    });
+}
+
+fn bench_world_generation(c: &mut Criterion) {
+    c.bench_function("world/generate_1000_blocks", |b| {
+        b.iter(|| {
+            black_box(World::generate(WorldConfig {
+                num_blocks: 1_000,
+                seed: 5,
+                ..Default::default()
+            }))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_estimator,
+    bench_trinocular,
+    bench_survey,
+    bench_classifier,
+    bench_linktype,
+    bench_anova,
+    bench_block_analysis,
+    bench_census,
+    bench_world_generation,
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Benchmark-support crate: the Criterion benches live in `benches/`.
+//!
+//! This library intentionally exposes nothing; it exists so `cargo bench
+//! --workspace` picks up the `pipeline` bench target with the whole
+//! dependency stack linked in one place.

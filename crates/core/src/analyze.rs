@@ -1,0 +1,272 @@
+//! Per-block analysis: probe → estimate → clean → FFT → classify.
+//!
+//! This is the paper's measurement pipeline for one /24: run Trinocular
+//! over the observation window, track `Âs` (§2.1), clean the timeseries and
+//! trim it to midnight UTC (§2.2), then classify diurnality and extract
+//! phase from the spectrum (§2.2), with the stationarity screen alongside.
+
+use sleepwatch_availability::cleaning::clean_series;
+use sleepwatch_probing::{BlockRun, TrinocularConfig, TrinocularProber};
+use sleepwatch_simnet::{BlockSpec, ROUND_SECONDS};
+use sleepwatch_spectral::{
+    classify, trend_default, DiurnalClass, DiurnalConfig, DiurnalReport, Spectrum, TrendReport,
+};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisConfig {
+    /// Prober parameters.
+    pub trinocular: TrinocularConfig,
+    /// Diurnal-classifier margins.
+    pub diurnal: DiurnalConfig,
+    /// Measurement start (unix seconds).
+    pub start_time: u64,
+    /// Rounds to observe.
+    pub rounds: u64,
+    /// Reject classification when more than this fraction of rounds had to
+    /// be interpolated.
+    pub max_fill_fraction: f64,
+}
+
+impl AnalysisConfig {
+    /// A configuration covering `days` from `start_time` with defaults
+    /// otherwise.
+    pub fn over_days(start_time: u64, days: f64) -> Self {
+        AnalysisConfig {
+            trinocular: TrinocularConfig::default(),
+            diurnal: DiurnalConfig::default(),
+            start_time,
+            rounds: (days * 86_400.0 / ROUND_SECONDS as f64).round() as u64,
+            max_fill_fraction: 0.25,
+        }
+    }
+}
+
+/// Everything the pipeline produced for one block (full detail — see
+/// [`BlockAnalysis::summary`] for the compact world-scale form).
+#[derive(Debug, Clone)]
+pub struct BlockAnalysis {
+    /// The analyzed block's id.
+    pub block_id: u64,
+    /// The raw probing run.
+    pub run: BlockRun,
+    /// Cleaned, midnight-trimmed `Âs` series.
+    pub series: Vec<f64>,
+    /// Fraction of rounds interpolated during cleaning.
+    pub fill_fraction: f64,
+    /// Diurnal classification of the series.
+    pub diurnal: DiurnalReport,
+    /// Stationarity screen.
+    pub trend: TrendReport,
+    /// Mean of the cleaned series.
+    pub mean_a_short: f64,
+}
+
+/// Compact per-block result for world-scale aggregation.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockSummary {
+    /// Block id.
+    pub block_id: u64,
+    /// Diurnal class.
+    pub class: DiurnalClass,
+    /// Phase of the daily component (diurnal blocks only).
+    pub phase: Option<f64>,
+    /// Frequency (cycles/day) of the strongest non-DC spectral component.
+    pub strongest_cpd: f64,
+    /// Mean `Âs` over the observation.
+    pub mean_a: f64,
+    /// Stationary per the §2.2 screen.
+    pub stationary: bool,
+    /// Number of detected outages.
+    pub outages: u32,
+    /// Total probes spent.
+    pub total_probes: u64,
+}
+
+/// Classifies an availability series that is already dense and trimmed
+/// (e.g. a survey's ground-truth `A(t)`).
+pub fn analyze_series(series: &[f64], cfg: &DiurnalConfig) -> (DiurnalReport, TrendReport) {
+    let spectrum = Spectrum::compute_rounds(series);
+    (classify(&spectrum, cfg), trend_default(series))
+}
+
+/// Runs the full pipeline over one block.
+pub fn analyze_block(block: &BlockSpec, cfg: &AnalysisConfig) -> BlockAnalysis {
+    let mut prober = TrinocularProber::new(block, cfg.trinocular);
+    let run = prober.run(block, cfg.start_time, cfg.rounds);
+    let (series, fill_fraction) = clean_series(
+        &run.a_short_observations(),
+        cfg.rounds as usize,
+        cfg.start_time,
+        ROUND_SECONDS,
+    );
+    let spectrum = Spectrum::compute_rounds(&series);
+    let mut diurnal = classify(&spectrum, &cfg.diurnal);
+    if fill_fraction > cfg.max_fill_fraction {
+        // Too much interpolation to trust periodicity claims.
+        diurnal.class = DiurnalClass::NonDiurnal;
+        diurnal.phase = None;
+    }
+    let trend = trend_default(&series);
+    let mean_a_short = if series.is_empty() {
+        0.0
+    } else {
+        series.iter().sum::<f64>() / series.len() as f64
+    };
+    BlockAnalysis { block_id: block.id, run, series, fill_fraction, diurnal, trend, mean_a_short }
+}
+
+impl BlockAnalysis {
+    /// Collapses to the compact summary.
+    pub fn summary(&self) -> BlockSummary {
+        let spectrum = Spectrum::compute_rounds(&self.series);
+        let strongest_cpd = spectrum
+            .strongest_bin()
+            .map(|k| spectrum.cycles_per_day(k))
+            .unwrap_or(0.0);
+        BlockSummary {
+            block_id: self.block_id,
+            class: self.diurnal.class,
+            phase: self.diurnal.phase,
+            strongest_cpd,
+            mean_a: self.mean_a_short,
+            stationary: self.trend.stationary,
+            outages: self.run.outages.len() as u32,
+            total_probes: self.run.total_probes,
+        }
+    }
+}
+
+/// Unrolls a phase (radians) into the window `[−π + L, π + L]` centred on a
+/// longitude `lon_deg` (§5.2's trick for comparing two circular
+/// quantities).
+pub fn unroll_phase(phase: f64, lon_deg: f64) -> f64 {
+    use std::f64::consts::TAU;
+    let l = lon_deg.to_radians();
+    let k = ((l - phase) / TAU).round();
+    phase + k * TAU
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleepwatch_simnet::{BlockProfile, BlockSpec};
+    use std::f64::consts::PI;
+
+    fn diurnal_block(id: u64, offset_h: f64) -> BlockSpec {
+        BlockSpec::bare(
+            id,
+            55,
+            BlockProfile {
+                n_stable: 40,
+                n_diurnal: 160,
+                stable_avail: 0.9,
+                diurnal_avail: 0.9,
+                onset_hours: 8.0,
+                onset_spread: 2.0,
+                duration_hours: 9.0,
+                duration_spread: 1.0,
+                sigma_start: 0.5,
+                sigma_duration: 0.5,
+                utc_offset_hours: offset_h,
+            },
+        )
+    }
+
+    fn flat_block(id: u64) -> BlockSpec {
+        BlockSpec::bare(id, 55, BlockProfile::always_on(120, 0.8))
+    }
+
+    #[test]
+    fn pipeline_detects_diurnal_block() {
+        let b = diurnal_block(1, 0.0);
+        let cfg = AnalysisConfig::over_days(0, 14.0);
+        let a = analyze_block(&b, &cfg);
+        assert!(a.diurnal.class.is_diurnal(), "got {:?}", a.diurnal.class);
+        assert!(a.diurnal.phase.is_some());
+        assert!(a.trend.stationary);
+        assert!(!a.series.is_empty());
+    }
+
+    #[test]
+    fn pipeline_rejects_flat_block() {
+        let b = flat_block(2);
+        let cfg = AnalysisConfig::over_days(0, 14.0);
+        let a = analyze_block(&b, &cfg);
+        assert_eq!(a.diurnal.class, DiurnalClass::NonDiurnal);
+        assert!((a.mean_a_short - 0.8).abs() < 0.1, "mean {}", a.mean_a_short);
+    }
+
+    #[test]
+    fn summary_collapses_consistently() {
+        let b = diurnal_block(3, 0.0);
+        let cfg = AnalysisConfig::over_days(0, 14.0);
+        let a = analyze_block(&b, &cfg);
+        let s = a.summary();
+        assert_eq!(s.class, a.diurnal.class);
+        assert_eq!(s.block_id, 3);
+        assert!((s.strongest_cpd - 1.0).abs() < 0.2, "strongest at {} cpd", s.strongest_cpd);
+        assert!(s.total_probes > 0);
+    }
+
+    #[test]
+    fn excessive_fill_disables_classification() {
+        let b = diurnal_block(4, 0.0);
+        let mut cfg = AnalysisConfig::over_days(0, 14.0);
+        cfg.max_fill_fraction = 0.0; // anything interpolated → rejected
+        cfg.trinocular.restart_interval_rounds = Some(30);
+        cfg.trinocular.restart_loss_chance = 1.0;
+        let a = analyze_block(&b, &cfg);
+        assert!(a.fill_fraction > 0.0);
+        assert_eq!(a.diurnal.class, DiurnalClass::NonDiurnal);
+        assert!(a.diurnal.phase.is_none());
+    }
+
+    #[test]
+    fn analyze_series_ground_truth_path() {
+        let b = diurnal_block(5, 0.0);
+        let series: Vec<f64> =
+            (0..1_833u64).map(|r| b.true_availability(r * 660)).collect();
+        let (report, trend) = analyze_series(&series, &DiurnalConfig::default());
+        assert!(report.class.is_diurnal());
+        assert!(trend.stationary);
+    }
+
+    #[test]
+    fn phase_tracks_timezone() {
+        // Same block shape at UTC+0 and UTC+6: phases differ by ~π/2.
+        let cfg = AnalysisConfig::over_days(0, 14.0);
+        let p0 = analyze_block(&diurnal_block(6, 0.0), &cfg).diurnal.phase.unwrap();
+        let p6 = analyze_block(&diurnal_block(6, 6.0), &cfg).diurnal.phase.unwrap();
+        let mut diff = p6 - p0;
+        while diff > PI {
+            diff -= 2.0 * PI;
+        }
+        while diff < -PI {
+            diff += 2.0 * PI;
+        }
+        assert!((diff.abs() - PI / 2.0).abs() < 0.35, "Δphase = {diff}");
+    }
+
+    #[test]
+    fn unroll_phase_lands_in_window() {
+        for &(phase, lon) in
+            &[(0.0, 0.0), (3.0, -170.0), (-3.0, 170.0), (1.5, 100.0), (-2.9, -120.0)]
+        {
+            let u = unroll_phase(phase, lon);
+            let l = lon.to_radians();
+            assert!(u >= l - PI - 1e-9 && u <= l + PI + 1e-9, "phase {phase} lon {lon} → {u}");
+            // Unrolling preserves the angle modulo 2π.
+            assert!(((u - phase) / (2.0 * PI)).fract().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn outage_block_counted_in_summary() {
+        let mut b = flat_block(7);
+        b.outage = Some((100 * 660, 150 * 660));
+        let cfg = AnalysisConfig::over_days(0, 14.0);
+        let a = analyze_block(&b, &cfg);
+        assert_eq!(a.summary().outages, 1);
+    }
+}

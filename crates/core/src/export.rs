@@ -1,0 +1,293 @@
+//! Dataset export/import.
+//!
+//! The paper publishes its per-block analysis results as public datasets
+//! (§2.5: "we add new public datasets for link technology and our new
+//! availability and diurnal analysis"). This module writes a
+//! [`WorldAnalysis`] in the same spirit — one TSV row per block with the
+//! measured diurnal class, phase, availability, location, allocation date
+//! and link features — and reads it back, so downstream analyses don't
+//! need to re-run probing.
+//!
+//! Format: a `#`-prefixed header line naming the columns, then
+//! tab-separated rows. Missing values are the literal `-`.
+
+use crate::worldrun::{WorldAnalysis, WorldBlockReport};
+use sleepwatch_spectral::DiurnalClass;
+use std::io::{self, BufRead, Write};
+
+/// Column header written (and required on import).
+const HEADER: &str = "#block_id\tclass\tphase\tmean_a\tstrongest_cpd\tstationary\toutages\tprobes\tlon\tlat\tcountry\tcentroid\talloc\tasn\tlinks";
+
+/// One parsed dataset row (a deserialized [`WorldBlockReport`] without the
+/// planted ground-truth label, which is deliberately not exported).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetRow {
+    /// Block id.
+    pub block_id: u64,
+    /// Measured diurnal class.
+    pub class: DiurnalClass,
+    /// Phase of the daily component (diurnal blocks only).
+    pub phase: Option<f64>,
+    /// Mean `Âs`.
+    pub mean_a: f64,
+    /// Strongest spectral component, cycles/day.
+    pub strongest_cpd: f64,
+    /// Stationarity screen result.
+    pub stationary: bool,
+    /// Outages detected.
+    pub outages: u32,
+    /// Probes spent.
+    pub probes: u64,
+    /// Geolocated longitude (if located).
+    pub lon: Option<f64>,
+    /// Geolocated latitude.
+    pub lat: Option<f64>,
+    /// Country code (if located).
+    pub country: Option<String>,
+    /// Country-centroid fallback flag.
+    pub centroid: bool,
+    /// /8 allocation date, `YYYY-MM`.
+    pub alloc: String,
+    /// Origin AS.
+    pub asn: u32,
+    /// Kept link keywords, comma-separated.
+    pub links: Vec<String>,
+}
+
+fn class_str(c: DiurnalClass) -> &'static str {
+    match c {
+        DiurnalClass::Strict => "d",
+        DiurnalClass::Relaxed => "r",
+        DiurnalClass::NonDiurnal => "n",
+    }
+}
+
+fn class_from(s: &str) -> Result<DiurnalClass, ParseError> {
+    match s {
+        "d" => Ok(DiurnalClass::Strict),
+        "r" => Ok(DiurnalClass::Relaxed),
+        "n" => Ok(DiurnalClass::NonDiurnal),
+        other => Err(ParseError::BadField(format!("unknown class {other:?}"))),
+    }
+}
+
+/// Writes one report row.
+fn write_row<W: Write>(w: &mut W, r: &WorldBlockReport) -> io::Result<()> {
+    let opt = |v: Option<f64>| v.map(|x| format!("{x:.6}")).unwrap_or_else(|| "-".into());
+    let links: Vec<&str> = r.link_features.iter().map(|f| f.keyword()).collect();
+    writeln!(
+        w,
+        "{}\t{}\t{}\t{:.6}\t{:.4}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        r.summary.block_id,
+        class_str(r.summary.class),
+        opt(r.summary.phase),
+        r.summary.mean_a,
+        r.summary.strongest_cpd,
+        if r.summary.stationary { 1 } else { 0 },
+        r.summary.outages,
+        r.summary.total_probes,
+        opt(r.location.map(|l| l.lon)),
+        opt(r.location.map(|l| l.lat)),
+        r.location.map(|l| l.country).unwrap_or("-"),
+        r.location.map(|l| l.centroid_fallback as u8).unwrap_or(0),
+        r.alloc_date,
+        r.asn,
+        if links.is_empty() { "-".to_string() } else { links.join(",") },
+    )
+}
+
+/// Writes the full analysis as a TSV dataset.
+pub fn write_dataset<W: Write>(w: &mut W, analysis: &WorldAnalysis) -> io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for r in &analysis.reports {
+        write_row(w, r)?;
+    }
+    Ok(())
+}
+
+/// Errors from [`read_dataset`].
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// The header line is missing or doesn't match this format version.
+    BadHeader(String),
+    /// A row has the wrong number of fields.
+    BadShape {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        fields: usize,
+    },
+    /// A field failed to parse.
+    BadField(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+            ParseError::BadHeader(h) => write!(f, "unrecognized header: {h:?}"),
+            ParseError::BadShape { line, fields } => {
+                write!(f, "line {line}: expected 15 fields, found {fields}")
+            }
+            ParseError::BadField(msg) => write!(f, "bad field: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+fn parse_opt_f64(s: &str) -> Result<Option<f64>, ParseError> {
+    if s == "-" {
+        Ok(None)
+    } else {
+        s.parse().map(Some).map_err(|_| ParseError::BadField(format!("not a number: {s:?}")))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, ParseError> {
+    s.parse().map_err(|_| ParseError::BadField(format!("not a number: {s:?}")))
+}
+
+/// Reads a dataset written by [`write_dataset`].
+pub fn read_dataset<R: BufRead>(r: R) -> Result<Vec<DatasetRow>, ParseError> {
+    let mut lines = r.lines();
+    let header = lines.next().ok_or_else(|| ParseError::BadHeader("<empty file>".into()))??;
+    if header != HEADER {
+        return Err(ParseError::BadHeader(header));
+    }
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 15 {
+            return Err(ParseError::BadShape { line: i + 2, fields: fields.len() });
+        }
+        rows.push(DatasetRow {
+            block_id: parse_num(fields[0])?,
+            class: class_from(fields[1])?,
+            phase: parse_opt_f64(fields[2])?,
+            mean_a: parse_num(fields[3])?,
+            strongest_cpd: parse_num(fields[4])?,
+            stationary: fields[5] == "1",
+            outages: parse_num(fields[6])?,
+            probes: parse_num(fields[7])?,
+            lon: parse_opt_f64(fields[8])?,
+            lat: parse_opt_f64(fields[9])?,
+            country: if fields[10] == "-" { None } else { Some(fields[10].to_string()) },
+            centroid: fields[11] == "1",
+            alloc: fields[12].to_string(),
+            asn: parse_num(fields[13])?,
+            links: if fields[14] == "-" {
+                Vec::new()
+            } else {
+                fields[14].split(',').map(str::to_string).collect()
+            },
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::AnalysisConfig;
+    use crate::worldrun::analyze_world;
+    use sleepwatch_simnet::{World, WorldConfig};
+
+    fn analysis() -> WorldAnalysis {
+        let world = World::generate(WorldConfig {
+            num_blocks: 80,
+            seed: 17,
+            span_days: 4.0,
+            ..Default::default()
+        });
+        let cfg = AnalysisConfig::over_days(world.cfg.start_time, 4.0);
+        analyze_world(&world, &cfg, 2, None)
+    }
+
+    #[test]
+    fn roundtrip_preserves_rows() {
+        let a = analysis();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &a).unwrap();
+        let rows = read_dataset(buf.as_slice()).unwrap();
+        assert_eq!(rows.len(), a.reports.len());
+        for (row, rep) in rows.iter().zip(&a.reports) {
+            assert_eq!(row.block_id, rep.summary.block_id);
+            assert_eq!(row.class, rep.summary.class);
+            assert_eq!(row.stationary, rep.summary.stationary);
+            assert_eq!(row.outages, rep.summary.outages);
+            assert_eq!(row.probes, rep.summary.total_probes);
+            assert_eq!(row.asn, rep.asn);
+            assert_eq!(row.country.as_deref(), rep.location.map(|l| l.country));
+            assert!((row.mean_a - rep.summary.mean_a).abs() < 1e-5);
+            match (row.phase, rep.summary.phase) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-5),
+                (None, None) => {}
+                other => panic!("phase mismatch {other:?}"),
+            }
+            assert_eq!(
+                row.links,
+                rep.link_features.iter().map(|f| f.keyword().to_string()).collect::<Vec<_>>()
+            );
+            assert_eq!(row.alloc, rep.alloc_date.to_string());
+        }
+    }
+
+    #[test]
+    fn header_is_validated() {
+        let bad = "wrong header\n1\td\t-\n";
+        assert!(matches!(read_dataset(bad.as_bytes()), Err(ParseError::BadHeader(_))));
+        assert!(matches!(read_dataset(&b""[..]), Err(ParseError::BadHeader(_))));
+    }
+
+    #[test]
+    fn shape_errors_carry_line_numbers() {
+        let text = format!("{HEADER}\n1\td\n");
+        match read_dataset(text.as_bytes()) {
+            Err(ParseError::BadShape { line, fields }) => {
+                assert_eq!(line, 2);
+                assert_eq!(fields, 2);
+            }
+            other => panic!("expected shape error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_class_is_rejected() {
+        let text = format!(
+            "{HEADER}\n1\tX\t-\t0.5\t1.0\t1\t0\t10\t-\t-\t-\t0\t1990-01\t7\t-\n"
+        );
+        assert!(matches!(read_dataset(text.as_bytes()), Err(ParseError::BadField(_))));
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let a = analysis();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &a).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let rows = read_dataset(buf.as_slice()).unwrap();
+        assert_eq!(rows.len(), a.reports.len());
+    }
+
+    #[test]
+    fn planted_labels_never_leak() {
+        let a = analysis();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &a).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.contains("planted"), "ground truth must not be exported");
+    }
+}

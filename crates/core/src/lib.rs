@@ -1,0 +1,47 @@
+//! End-to-end diurnal-network analysis: the pipeline of *"When the Internet
+//! Sleeps"* (IMC 2014).
+//!
+//! * [`analyze`]: per-block pipeline — adaptive probing, §2.1 availability
+//!   estimation, §2.2 cleaning + FFT classification + phase, the
+//!   stationarity screen, and phase unrolling for the longitude comparison;
+//! * [`worldrun`]: the same pipeline over an entire synthetic world, in
+//!   parallel, joined with geolocation, reverse-DNS link classes,
+//!   allocation dates and country economics;
+//! * [`aggregate`]: the paper's evaluation views — country league table,
+//!   region table, link-technology fractions, allocation histogram,
+//!   phase/longitude analysis, world grids, and the Table 5 ANOVA factors.
+//!
+//! # Example
+//!
+//! ```
+//! use sleepwatch_core::{analyze_world, AnalysisConfig};
+//! use sleepwatch_simnet::{World, WorldConfig};
+//!
+//! let world = World::generate(WorldConfig { num_blocks: 40, seed: 3, span_days: 3.0, ..Default::default() });
+//! let cfg = AnalysisConfig::over_days(world.cfg.start_time, 3.0);
+//! let analysis = analyze_world(&world, &cfg, 2, None);
+//! let (strict, frac) = analysis.strict_fraction();
+//! assert!(strict <= analysis.len());
+//! assert!((0.0..=1.0).contains(&frac));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod analyze;
+pub mod applications;
+pub mod export;
+pub mod streaming;
+pub mod timeofday;
+pub mod worldrun;
+
+pub use aggregate::{AnovaFactors, CountryStat, OrgStat, AGE_REFERENCE};
+pub use applications::{correct_snapshot, estimate_size, SizeEstimate};
+pub use export::{read_dataset, write_dataset, DatasetRow, ParseError};
+pub use streaming::{OnlineConfig, OnlineDetector};
+pub use timeofday::{activity_pattern, peak_local_hour, peak_utc_hour, ActivityPattern};
+pub use analyze::{
+    analyze_block, analyze_series, unroll_phase, AnalysisConfig, BlockAnalysis, BlockSummary,
+};
+pub use worldrun::{analyze_world, WorldAnalysis, WorldBlockReport};

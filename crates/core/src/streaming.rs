@@ -1,0 +1,310 @@
+//! Online diurnal detection: classify as observations arrive.
+//!
+//! The batch pipeline ([`crate::analyze`]) stores a full series and runs
+//! one FFT at the end. An operational monitor wants a verdict *while*
+//! collecting — and at 3.7 M blocks it cannot afford a full spectrum per
+//! block per round. [`OnlineDetector`] keeps a bounded window of recent
+//! `Âs` values and re-classifies on a coarse schedule, preceded by a cheap
+//! Goertzel screen of the daily bin so obviously-flat blocks never pay for
+//! a full FFT.
+
+use sleepwatch_availability::Estimates;
+use sleepwatch_spectral::{classify, diurnal_energy_ratio, DiurnalClass, DiurnalConfig, Spectrum};
+
+/// Configuration for [`OnlineDetector`].
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineConfig {
+    /// Sliding-window length in rounds (default: 14 days).
+    pub window_rounds: usize,
+    /// Re-classify every this many rounds once the window is full
+    /// (default: half a day).
+    pub reclassify_every: usize,
+    /// Goertzel energy-ratio screen below which the full FFT is skipped
+    /// and the block stays non-diurnal (0 disables the screen).
+    pub screen_threshold: f64,
+    /// Sampling period in seconds.
+    pub sample_period: f64,
+    /// Classifier margins.
+    pub diurnal: DiurnalConfig,
+    /// Number of consecutive identical raw verdicts required before the
+    /// public classification changes (1 = report immediately). Smooths the
+    /// flapping the loose relaxed class otherwise shows on noisy flat
+    /// blocks.
+    pub hysteresis: u32,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            window_rounds: 1_833,
+            reclassify_every: 65,
+            screen_threshold: 2.0,
+            sample_period: 660.0,
+            diurnal: DiurnalConfig::default(),
+            hysteresis: 1,
+        }
+    }
+}
+
+/// Incremental diurnal detector over a sliding window of `Âs` estimates.
+#[derive(Debug, Clone)]
+pub struct OnlineDetector {
+    cfg: OnlineConfig,
+    window: Vec<f64>,
+    head: usize,
+    filled: bool,
+    rounds_seen: u64,
+    since_classify: usize,
+    class: DiurnalClass,
+    phase: Option<f64>,
+    pending: Option<(DiurnalClass, u32)>,
+    classifications: u64,
+    screens_skipped: u64,
+}
+
+impl OnlineDetector {
+    /// Creates a detector.
+    pub fn new(cfg: OnlineConfig) -> Self {
+        assert!(cfg.window_rounds >= 4, "window too small to classify");
+        OnlineDetector {
+            window: Vec::with_capacity(cfg.window_rounds),
+            head: 0,
+            filled: false,
+            rounds_seen: 0,
+            since_classify: 0,
+            class: DiurnalClass::NonDiurnal,
+            phase: None,
+            pending: None,
+            classifications: 0,
+            screens_skipped: 0,
+            cfg,
+        }
+    }
+
+    /// Feeds one round's estimates; returns the current classification.
+    pub fn push(&mut self, estimates: &Estimates) -> DiurnalClass {
+        self.push_value(estimates.a_short)
+    }
+
+    /// Feeds one raw `Âs` value.
+    pub fn push_value(&mut self, a_short: f64) -> DiurnalClass {
+        if self.window.len() < self.cfg.window_rounds {
+            self.window.push(a_short);
+            self.filled = self.window.len() == self.cfg.window_rounds;
+        } else {
+            self.window[self.head] = a_short;
+            self.head = (self.head + 1) % self.cfg.window_rounds;
+        }
+        self.rounds_seen += 1;
+        self.since_classify += 1;
+        if self.filled && self.since_classify >= self.cfg.reclassify_every {
+            self.since_classify = 0;
+            self.reclassify();
+        }
+        self.class
+    }
+
+    /// The window in chronological order.
+    fn ordered_window(&self) -> Vec<f64> {
+        if !self.filled || self.head == 0 {
+            self.window.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.window.len());
+            out.extend_from_slice(&self.window[self.head..]);
+            out.extend_from_slice(&self.window[..self.head]);
+            out
+        }
+    }
+
+    fn reclassify(&mut self) {
+        let series = self.ordered_window();
+        let (raw_class, raw_phase) = if self.cfg.screen_threshold > 0.0
+            && diurnal_energy_ratio(&series, self.cfg.sample_period) < self.cfg.screen_threshold
+        {
+            self.screens_skipped += 1;
+            (DiurnalClass::NonDiurnal, None)
+        } else {
+            let spectrum = Spectrum::compute(&series, self.cfg.sample_period);
+            let report = classify(&spectrum, &self.cfg.diurnal);
+            self.classifications += 1;
+            (report.class, report.phase)
+        };
+        self.apply_verdict(raw_class, raw_phase);
+    }
+
+    /// Applies hysteresis: a change must repeat `hysteresis` times in a row
+    /// before it becomes the public classification.
+    fn apply_verdict(&mut self, raw_class: DiurnalClass, raw_phase: Option<f64>) {
+        if raw_class == self.class {
+            self.pending = None;
+            self.phase = raw_phase.or(self.phase);
+            return;
+        }
+        let needed = self.cfg.hysteresis.max(1);
+        let count = match self.pending {
+            Some((c, n)) if c == raw_class => n + 1,
+            _ => 1,
+        };
+        if count >= needed {
+            self.class = raw_class;
+            self.phase = raw_phase;
+            self.pending = None;
+        } else {
+            self.pending = Some((raw_class, count));
+        }
+    }
+
+    /// Current verdict.
+    pub fn class(&self) -> DiurnalClass {
+        self.class
+    }
+
+    /// Phase of the daily component, when diurnal.
+    pub fn phase(&self) -> Option<f64> {
+        self.phase
+    }
+
+    /// `true` once the window holds a full span.
+    pub fn warmed_up(&self) -> bool {
+        self.filled
+    }
+
+    /// Rounds ingested.
+    pub fn rounds_seen(&self) -> u64 {
+        self.rounds_seen
+    }
+
+    /// Full FFT classifications performed (cost accounting).
+    pub fn classifications(&self) -> u64 {
+        self.classifications
+    }
+
+    /// Re-classifications avoided by the Goertzel screen.
+    pub fn screens_skipped(&self) -> u64 {
+        self.screens_skipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RPD: f64 = 86_400.0 / 660.0;
+
+    fn diurnal_value(round: usize) -> f64 {
+        let frac = (round as f64 / RPD).fract();
+        if frac < 0.4 {
+            0.8
+        } else {
+            0.2
+        }
+    }
+
+    fn small_cfg() -> OnlineConfig {
+        OnlineConfig {
+            window_rounds: (7.0 * RPD) as usize,
+            reclassify_every: 50,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn detects_diurnal_after_warmup() {
+        let mut det = OnlineDetector::new(small_cfg());
+        let mut first_detection = None;
+        for r in 0..(10.0 * RPD) as usize {
+            let class = det.push_value(diurnal_value(r));
+            if class.is_strict() && first_detection.is_none() {
+                first_detection = Some(r);
+            }
+        }
+        let at = first_detection.expect("diurnal block detected");
+        assert!(det.warmed_up());
+        // Detection within one reclassify interval of window fill.
+        assert!(at <= (7.0 * RPD) as usize + 51, "detected at {at}");
+    }
+
+    #[test]
+    fn flat_stream_never_classifies_and_skips_ffts() {
+        let mut det = OnlineDetector::new(small_cfg());
+        for r in 0..(10.0 * RPD) as usize {
+            let noise = ((r as f64 * 12.9898).sin() * 43_758.545_3).fract() * 0.05;
+            assert_eq!(det.push_value(0.6 + noise), DiurnalClass::NonDiurnal);
+        }
+        assert!(det.screens_skipped() > 0, "screen should fire");
+        assert_eq!(det.classifications(), 0, "no full FFT needed for flat blocks");
+    }
+
+    #[test]
+    fn behavior_change_flips_the_verdict() {
+        // Diurnal for 10 days, then permanently flat: the verdict must
+        // decay back to NonDiurnal once the window slides past the change.
+        let mut det = OnlineDetector::new(small_cfg());
+        let change = (10.0 * RPD) as usize;
+        for r in 0..change {
+            det.push_value(diurnal_value(r));
+        }
+        assert!(det.class().is_diurnal(), "diurnal before the change");
+        for r in change..change + (9.0 * RPD) as usize {
+            det.push_value(0.6 + 0.02 * ((r % 7) as f64));
+        }
+        assert_eq!(det.class(), DiurnalClass::NonDiurnal, "verdict follows behaviour");
+    }
+
+    #[test]
+    fn no_verdict_before_warmup() {
+        let mut det = OnlineDetector::new(small_cfg());
+        for r in 0..100 {
+            assert_eq!(det.push_value(diurnal_value(r)), DiurnalClass::NonDiurnal);
+        }
+        assert!(!det.warmed_up());
+        assert_eq!(det.classifications(), 0);
+    }
+
+    #[test]
+    fn screen_can_be_disabled() {
+        let mut cfg = small_cfg();
+        cfg.screen_threshold = 0.0;
+        let mut det = OnlineDetector::new(cfg);
+        for _ in 0..(8.0 * RPD) as usize {
+            det.push_value(0.5);
+        }
+        assert!(det.classifications() > 0, "without the screen every pass FFTs");
+    }
+
+    #[test]
+    fn phase_is_available_when_diurnal() {
+        let mut det = OnlineDetector::new(small_cfg());
+        for r in 0..(9.0 * RPD) as usize {
+            det.push_value(diurnal_value(r));
+        }
+        assert!(det.class().is_diurnal());
+        assert!(det.phase().is_some());
+    }
+
+    #[test]
+    fn hysteresis_suppresses_single_round_flaps() {
+        // Raw verdicts: N, R, N, R, R, R — with hysteresis 2 the public
+        // class only changes once the verdict repeats.
+        let mut det = OnlineDetector::new(OnlineConfig {
+            window_rounds: 8,
+            hysteresis: 2,
+            ..Default::default()
+        });
+        use DiurnalClass::*;
+        det.apply_verdict(Relaxed, Some(0.1));
+        assert_eq!(det.class(), NonDiurnal, "first flap suppressed");
+        det.apply_verdict(NonDiurnal, None);
+        det.apply_verdict(Relaxed, Some(0.1));
+        assert_eq!(det.class(), NonDiurnal, "counter reset by the revert");
+        det.apply_verdict(Relaxed, Some(0.2));
+        assert_eq!(det.class(), Relaxed, "two in a row switch the verdict");
+        assert_eq!(det.phase(), Some(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "window too small")]
+    fn rejects_tiny_window() {
+        let _ = OnlineDetector::new(OnlineConfig { window_rounds: 2, ..Default::default() });
+    }
+}

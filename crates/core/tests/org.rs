@@ -1,0 +1,64 @@
+//! Integration test for the organization-level aggregation (§2.3.2
+//! extension): AS→org clustering joined with pipeline results.
+
+use sleepwatch_core::{analyze_world, AnalysisConfig};
+use sleepwatch_geoecon::AsOrgMapper;
+use sleepwatch_simnet::{World, WorldConfig};
+
+#[test]
+fn organizations_aggregate_their_ases() {
+    let world = World::generate(WorldConfig {
+        num_blocks: 300,
+        seed: 64,
+        span_days: 4.0,
+        ..Default::default()
+    });
+    let cfg = AnalysisConfig::over_days(world.cfg.start_time, 4.0);
+    let analysis = analyze_world(&world, &cfg, 2, None);
+
+    let mapper = AsOrgMapper::cluster(&world.as_records);
+    let orgs = analysis.organization_stats(&mapper, 1);
+
+    assert!(!orgs.is_empty(), "some organizations observed");
+    // Totals: every block's ASN belongs to exactly one cluster, so org
+    // block counts sum to the world size.
+    let total: usize = orgs.iter().map(|o| o.blocks).sum();
+    assert_eq!(total, world.blocks.len());
+
+    for o in &orgs {
+        assert!((0.0..=1.0).contains(&o.frac_diurnal));
+        assert!(!o.asns.is_empty());
+        assert!(o.blocks >= 1);
+    }
+    // Sorted descending by diurnal fraction.
+    assert!(orgs.windows(2).all(|w| w[0].frac_diurnal >= w[1].frac_diurnal));
+}
+
+#[test]
+fn chinese_isps_more_diurnal_than_us_isps() {
+    let world = World::generate(WorldConfig {
+        num_blocks: 900,
+        seed: 12,
+        span_days: 4.0,
+        country_filter: Some(vec!["US", "CN"]),
+        ..Default::default()
+    });
+    let cfg = AnalysisConfig::over_days(world.cfg.start_time, 4.0);
+    let analysis = analyze_world(&world, &cfg, 2, None);
+    let mapper = AsOrgMapper::cluster(&world.as_records);
+    let orgs = analysis.organization_stats(&mapper, 20);
+
+    let mean_frac = |needle: &str| {
+        let v: Vec<f64> = orgs
+            .iter()
+            .filter(|o| o.org.contains(needle))
+            .map(|o| o.frac_diurnal)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    // Org keys derive from ISP names like "China Telecom" / "UnitedStates
+    // Cable" (the generator strips spaces: "china", "unitedstates").
+    let cn = mean_frac("china");
+    let us = mean_frac("unitedstates");
+    assert!(cn > us + 0.15, "china ISPs {cn} vs US ISPs {us}");
+}

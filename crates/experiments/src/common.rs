@@ -1,0 +1,223 @@
+//! Shared infrastructure for the experiment harness: options, the cached
+//! world run, table rendering and CSV output.
+
+use sleepwatch_core::{analyze_world, AnalysisConfig, WorldAnalysis};
+use sleepwatch_probing::TrinocularConfig;
+use sleepwatch_simnet::{World, WorldConfig};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Command-line options shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Master seed.
+    pub seed: u64,
+    /// Scale multiplier on default population sizes (1.0 = defaults
+    /// documented in DESIGN.md; the paper's full 3.7 M-block scale would be
+    /// roughly `--scale 370`).
+    pub scale: f64,
+    /// Worker threads for world-scale analysis.
+    pub threads: usize,
+    /// Directory for CSV outputs (`None` disables writing).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seed: 1,
+            scale: 1.0,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            out_dir: Some(PathBuf::from("results")),
+        }
+    }
+}
+
+impl Options {
+    /// Scales a default count, with a floor.
+    pub fn scaled(&self, default: usize, min: usize) -> usize {
+        ((default as f64 * self.scale) as usize).max(min)
+    }
+}
+
+/// Result of one experiment: a rendered report plus machine-readable rows.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Identifier (e.g. `fig14`, `table5`).
+    pub id: &'static str,
+    /// Human-readable report, printed to stdout.
+    pub report: String,
+    /// Headline `(metric, value)` pairs for EXPERIMENTS.md bookkeeping.
+    pub headline: Vec<(String, String)>,
+    /// CSV body (with header row) written to `results/<id>.csv`.
+    pub csv: String,
+}
+
+impl ExperimentOutput {
+    /// Fetches a headline metric by name.
+    pub fn metric(&self, name: &str) -> Option<&str> {
+        self.headline.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Execution context: options plus the lazily shared world run (several
+/// figures and tables read the same 35-day analysis).
+pub struct Context {
+    /// Options in effect.
+    pub opts: Options,
+    world_run: OnceLock<(World, WorldAnalysis)>,
+    survey_study: OnceLock<crate::validation::SurveyStudy>,
+}
+
+impl Context {
+    /// Creates a context.
+    pub fn new(opts: Options) -> Self {
+        Context { opts, world_run: OnceLock::new(), survey_study: OnceLock::new() }
+    }
+
+    /// The shared survey-vs-adaptive study (Figs. 4–5, Table 1).
+    pub fn survey_study(&self) -> &crate::validation::SurveyStudy {
+        self.survey_study.get_or_init(|| crate::validation::SurveyStudy::compute(self))
+    }
+
+    /// Default block count of the main world run at scale 1.0.
+    pub const WORLD_BLOCKS: usize = 10_000;
+
+    /// Observation span of the main world run, days (the paper's `A12w`).
+    pub const WORLD_DAYS: f64 = 35.0;
+
+    /// The shared `A12w`-style world run: synthesized once, probed once
+    /// with the restart-afflicted prober, analyzed once.
+    pub fn world_run(&self) -> &(World, WorldAnalysis) {
+        self.world_run.get_or_init(|| {
+            let world = World::generate(WorldConfig {
+                seed: self.opts.seed,
+                num_blocks: self.opts.scaled(Self::WORLD_BLOCKS, 200),
+                span_days: Self::WORLD_DAYS,
+                ..Default::default()
+            });
+            let mut cfg = AnalysisConfig::over_days(world.cfg.start_time, Self::WORLD_DAYS);
+            cfg.trinocular = TrinocularConfig::a12w();
+            eprintln!(
+                "[world] analyzing {} blocks over {} days…",
+                world.blocks.len(),
+                Self::WORLD_DAYS
+            );
+            let progress = |done: usize, total: usize| {
+                if done.is_multiple_of(2_000) || done == total {
+                    eprintln!("[world] {done}/{total}");
+                }
+            };
+            let analysis = analyze_world(&world, &cfg, self.opts.threads, Some(&progress));
+            (world, analysis)
+        })
+    }
+}
+
+/// Renders an aligned text table: `header` row then `rows`, all columns
+/// left-padded to the widest cell.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncol) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = format!("== {title} ==\n");
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol.saturating_sub(1))));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Builds a CSV string from a header and rows (naive quoting: fields are
+/// numeric or simple identifiers throughout this harness).
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut s = header.join(",");
+    s.push('\n');
+    for row in rows {
+        s.push_str(&row.join(","));
+        s.push('\n');
+    }
+    s
+}
+
+/// Formats an f64 compactly for tables.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() < 0.001 {
+        format!("{x:.2e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_applies_floor() {
+        let opts = Options { scale: 0.001, ..Default::default() };
+        assert_eq!(opts.scaled(10_000, 200), 200);
+        let big = Options { scale: 2.0, ..Default::default() };
+        assert_eq!(big.scaled(100, 10), 200);
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            "demo",
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2.5".into()]],
+        );
+        assert!(t.contains("== demo =="));
+        assert!(t.contains("long-name"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_formatting() {
+        let c = to_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(12_345.6), "12346");
+        assert_eq!(f(0.5), "0.5000");
+        assert!(f(1e-9).contains('e'));
+    }
+
+    #[test]
+    fn metric_lookup() {
+        let o = ExperimentOutput {
+            id: "x",
+            report: String::new(),
+            headline: vec![("r".into(), "0.9".into())],
+            csv: String::new(),
+        };
+        assert_eq!(o.metric("r"), Some("0.9"));
+        assert_eq!(o.metric("nope"), None);
+    }
+}

@@ -1,0 +1,93 @@
+//! Regenerates every table and figure of *"When the Internet Sleeps"*
+//! (IMC 2014) from the sleepwatch pipeline.
+//!
+//! Each experiment is a function from a shared [`Context`] to an
+//! [`ExperimentOutput`] (rendered report + headline metrics + CSV). The
+//! `experiments` binary dispatches on experiment ids; EXPERIMENTS.md
+//! records paper-vs-measured values per id.
+//!
+//! | id | paper content |
+//! |---|---|
+//! | `fig1`–`fig3` | sample blocks: estimates vs ground truth |
+//! | `fig4`/`fig5` | Âs / Âo vs true A over a full survey |
+//! | `fig6` | 35-day spectrum of the diurnal sample block |
+//! | `fig7`–`fig9` | controlled-simulation detection accuracy |
+//! | `fig10` | strongest-frequency CDF (incl. restart artifact) |
+//! | `fig11` | long-term diurnal fraction 2009–2013 |
+//! | `fig12`/`fig13` | world maps: observable / % diurnal |
+//! | `fig14` | phase vs longitude |
+//! | `fig15` | diurnal fraction vs allocation month |
+//! | `fig16` | diurnal fraction vs per-capita GDP |
+//! | `fig17` | diurnal fraction per link keyword |
+//! | `table1` | diurnal-detection confusion matrix |
+//! | `table2` | cross-site agreement |
+//! | `table3`/`table4` | country / region league tables |
+//! | `table5` | ANOVA factor screening |
+//! | `usc` | §3.2.4 campus ground-truth study |
+//! | `ext-*` | extensions: organizations, Internet sizing, time-of-day, outage scoring |
+//! | `ablate-*` | design-choice ablations |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod common;
+pub mod controlled;
+pub mod extensions;
+pub mod plot;
+pub mod samples;
+pub mod validation;
+pub mod worldexp;
+
+pub use common::{Context, ExperimentOutput, Options};
+
+/// All experiment ids, in run order.
+pub const ALL_IDS: &[&str] = &[
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table1", "table2", "table3",
+    "table4", "table5", "usc", "ext-orgs", "ext-size", "ext-timeofday", "ext-outages", "ext-dataset", "ext-weekend", "ext-lease",
+    "ablate-ewma", "ablate-strict", "ablate-probes", "ablate-gaps", "ablate-acf", "ablate-trim",
+];
+
+/// Runs one experiment by id.
+pub fn run(id: &str, ctx: &Context) -> Option<ExperimentOutput> {
+    Some(match id {
+        "fig1" => samples::fig1(ctx),
+        "fig2" => samples::fig2(ctx),
+        "fig3" => samples::fig3(ctx),
+        "fig4" => validation::fig4(ctx),
+        "fig5" => validation::fig5(ctx),
+        "fig6" => samples::fig6(ctx),
+        "fig7" => controlled::fig7(ctx),
+        "fig8" => controlled::fig8(ctx),
+        "fig9" => controlled::fig9(ctx),
+        "fig10" => worldexp::fig10(ctx),
+        "fig11" => worldexp::fig11(ctx),
+        "fig12" => worldexp::fig12(ctx),
+        "fig13" => worldexp::fig13(ctx),
+        "fig14" => worldexp::fig14(ctx),
+        "fig15" => worldexp::fig15(ctx),
+        "fig16" => worldexp::fig16(ctx),
+        "fig17" => worldexp::fig17(ctx),
+        "table1" => validation::table1(ctx),
+        "table2" => worldexp::table2(ctx),
+        "table3" => worldexp::table3(ctx),
+        "table4" => worldexp::table4(ctx),
+        "table5" => worldexp::table5(ctx),
+        "usc" => extensions::usc(ctx),
+        "ext-orgs" => extensions::ext_orgs(ctx),
+        "ext-size" => extensions::ext_size(ctx),
+        "ext-timeofday" => extensions::ext_timeofday(ctx),
+        "ext-outages" => extensions::ext_outages(ctx),
+        "ext-dataset" => extensions::ext_dataset(ctx),
+        "ext-weekend" => extensions::ext_weekend(ctx),
+        "ext-lease" => extensions::ext_lease(ctx),
+        "ablate-ewma" => ablations::ablate_ewma(ctx),
+        "ablate-strict" => controlled::ablate_strict(ctx),
+        "ablate-probes" => ablations::ablate_probes(ctx),
+        "ablate-gaps" => ablations::ablate_gaps(ctx),
+        "ablate-acf" => ablations::ablate_acf(ctx),
+        "ablate-trim" => ablations::ablate_trim(ctx),
+        _ => return None,
+    })
+}

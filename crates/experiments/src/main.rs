@@ -1,0 +1,93 @@
+//! CLI for regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments [OPTIONS] <ID>...
+//!   <ID>            fig1..fig17, table1..table5, ablate-ewma,
+//!                   ablate-strict, ablate-probes, or `all`
+//!   --seed <N>      world seed (default 1)
+//!   --scale <X>     population scale multiplier (default 1.0)
+//!   --threads <N>   worker threads (default: available parallelism)
+//!   --out <DIR>     CSV output directory (default: results; `-` disables)
+//!   --list          print all experiment ids
+//! ```
+
+use sleepwatch_experiments::{run, Context, Options, ALL_IDS};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [--seed N] [--scale X] [--threads N] [--out DIR] [--list] <ID|all>..."
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                opts.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--scale" => {
+                opts.scale = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                opts.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--out" => {
+                let dir = args.next().unwrap_or_else(|| usage());
+                opts.out_dir = if dir == "-" { None } else { Some(dir.into()) };
+            }
+            "--list" => {
+                for id in ALL_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let ctx = Context::new(opts);
+    let mut failed = false;
+    for id in &ids {
+        let start = std::time::Instant::now();
+        match run(id, &ctx) {
+            Some(out) => {
+                println!("{}", out.report);
+                if !out.headline.is_empty() {
+                    let parts: Vec<String> =
+                        out.headline.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    println!("[{}] {}", out.id, parts.join("  "));
+                }
+                println!("[{}] done in {:.1?}\n", out.id, start.elapsed());
+                if let Some(dir) = &ctx.opts.out_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir)
+                        .and_then(|_| std::fs::write(dir.join(format!("{}.csv", out.id)), &out.csv))
+                    {
+                        eprintln!("[{}] could not write CSV: {e}", out.id);
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (try --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,333 @@
+//! Embedded country table: geography, economics, allocation history, and the
+//! planted diurnal propensity used to synthesize worlds.
+//!
+//! Economic figures are the CIA World Factbook values the paper cites (per
+//! capita GDP in Table 3 verbatim; electricity and users-per-host from the
+//! same era, approximate for countries the paper doesn't list). The
+//! `diurnal_propensity` column is the *ground truth planted in the synthetic
+//! world*: for the paper's Table 3 / Table 4 countries it is the measured
+//! fraction the paper reports, for others it is interpolated from region and
+//! GDP. The measurement pipeline never reads this column — experiments must
+//! recover it.
+
+use crate::region::Region;
+
+/// Static description of one country in the synthetic world.
+#[derive(Debug, Clone, Copy)]
+pub struct Country {
+    /// ISO 3166-1 alpha-2 code.
+    pub code: &'static str,
+    /// English short name.
+    pub name: &'static str,
+    /// Table-4-style region.
+    pub region: Region,
+    /// Population-weighted centroid longitude, degrees east.
+    pub lon: f64,
+    /// Population-weighted centroid latitude, degrees north.
+    pub lat: f64,
+    /// Longitude spread (degrees) of the address population.
+    pub lon_spread: f64,
+    /// Latitude spread (degrees) of the address population.
+    pub lat_spread: f64,
+    /// Per-capita GDP (PPP), US dollars.
+    pub gdp_per_capita: f64,
+    /// Electricity consumption, kWh per capita per year.
+    pub electricity_kwh: f64,
+    /// Internet users per Internet host (high where addresses are shared).
+    pub users_per_host: f64,
+    /// Year of the country's first /8-era address allocation.
+    pub first_alloc_year: u16,
+    /// Relative number of /24 blocks (used as a sampling weight).
+    pub block_weight: f64,
+    /// Planted fraction of diurnal blocks (ground truth; not visible to the
+    /// measurement pipeline).
+    pub diurnal_propensity: f64,
+}
+
+impl Country {
+    /// Civil UTC offset in hours (standard time, no DST).
+    ///
+    /// Real clocks are politically quantized, not solar: most countries
+    /// round to whole hours, several sit a full hour or more off their
+    /// longitude (Spain, France, Argentina, western China under Beijing
+    /// time), and a few use half- or three-quarter-hour offsets. This
+    /// mismatch between clock time and longitude is a genuine source of
+    /// the paper's phase/longitude scatter (§5.2 calls out China's single
+    /// timezone), so it is modeled rather than idealized.
+    pub fn utc_offset_hours(&self) -> f64 {
+        match self.code {
+            "CN" => 8.0,        // one timezone for 60° of longitude
+            "AR" => -3.0,       // ~1 h east of solar
+            "ES" => 1.0,        // CET despite Greenwich longitude
+            "FR" | "NL" | "BE" => 1.0,
+            "RU" => 3.0,        // Moscow time for the population centroid
+            "IS" | "PT" | "MA" => 0.0,
+            "IN" | "LK" => 5.5,
+            "NP" => 5.75,
+            "MM" => 6.5,
+            "IR" => 3.5,
+            "VE" => -4.5,       // the 2007–2016 offset, current at A12w
+            "KZ" => 6.0,
+            "SG" | "MY" => 8.0, // east of solar for trade alignment
+            _ => (self.lon / 15.0).round(),
+        }
+    }
+}
+
+/// The embedded table. Ordering: the paper's Table 3 top-20 first, then the
+/// United States, then the rest of the world alphabetically.
+pub const COUNTRIES: &[Country] = &[
+    // ---- Table 3: the twenty most-diurnal countries (≥1000 blocks) ----
+    Country { code: "AM", name: "Armenia", region: Region::WesternAsia, lon: 44.5, lat: 40.2, lon_spread: 1.0, lat_spread: 0.8, gdp_per_capita: 5_900.0, electricity_kwh: 1_700.0, users_per_host: 28.0, first_alloc_year: 2000, block_weight: 1_075.0, diurnal_propensity: 0.630 },
+    Country { code: "GE", name: "Georgia", region: Region::WesternAsia, lon: 43.5, lat: 42.0, lon_spread: 1.5, lat_spread: 0.8, gdp_per_capita: 6_000.0, electricity_kwh: 1_900.0, users_per_host: 25.0, first_alloc_year: 2000, block_weight: 1_395.0, diurnal_propensity: 0.546 },
+    Country { code: "BY", name: "Belarus", region: Region::EasternEurope, lon: 28.0, lat: 53.5, lon_spread: 3.0, lat_spread: 1.5, gdp_per_capita: 15_900.0, electricity_kwh: 3_400.0, users_per_host: 30.0, first_alloc_year: 1997, block_weight: 1_748.0, diurnal_propensity: 0.512 },
+    Country { code: "CN", name: "China", region: Region::EasternAsia, lon: 110.0, lat: 33.0, lon_spread: 12.0, lat_spread: 8.0, gdp_per_capita: 9_300.0, electricity_kwh: 3_500.0, users_per_host: 190.0, first_alloc_year: 1998, block_weight: 394_244.0, diurnal_propensity: 0.498 },
+    Country { code: "PE", name: "Peru", region: Region::SouthAmerica, lon: -76.0, lat: -10.0, lon_spread: 3.0, lat_spread: 4.0, gdp_per_capita: 10_900.0, electricity_kwh: 1_200.0, users_per_host: 35.0, first_alloc_year: 1999, block_weight: 4_600.0, diurnal_propensity: 0.401 },
+    Country { code: "KZ", name: "Kazakhstan", region: Region::CentralAsia, lon: 68.0, lat: 48.0, lon_spread: 10.0, lat_spread: 4.0, gdp_per_capita: 14_100.0, electricity_kwh: 4_600.0, users_per_host: 40.0, first_alloc_year: 1999, block_weight: 3_832.0, diurnal_propensity: 0.400 },
+    Country { code: "RS", name: "Serbia", region: Region::SouthernEurope, lon: 21.0, lat: 44.0, lon_spread: 1.5, lat_spread: 1.2, gdp_per_capita: 10_600.0, electricity_kwh: 4_300.0, users_per_host: 22.0, first_alloc_year: 1998, block_weight: 4_429.0, diurnal_propensity: 0.393 },
+    Country { code: "AR", name: "Argentina", region: Region::SouthAmerica, lon: -61.0, lat: -34.0, lon_spread: 5.0, lat_spread: 6.0, gdp_per_capita: 18_400.0, electricity_kwh: 2_900.0, users_per_host: 12.0, first_alloc_year: 1996, block_weight: 20_382.0, diurnal_propensity: 0.339 },
+    Country { code: "TH", name: "Thailand", region: Region::SouthEasternAsia, lon: 101.0, lat: 15.0, lon_spread: 3.0, lat_spread: 4.0, gdp_per_capita: 10_300.0, electricity_kwh: 2_300.0, users_per_host: 18.0, first_alloc_year: 1997, block_weight: 10_986.0, diurnal_propensity: 0.336 },
+    Country { code: "SV", name: "El Salvador", region: Region::CentralAmerica, lon: -89.0, lat: 13.7, lon_spread: 0.8, lat_spread: 0.5, gdp_per_capita: 7_600.0, electricity_kwh: 900.0, users_per_host: 60.0, first_alloc_year: 2001, block_weight: 1_145.0, diurnal_propensity: 0.311 },
+    Country { code: "UA", name: "Ukraine", region: Region::EasternEurope, lon: 31.0, lat: 49.0, lon_spread: 6.0, lat_spread: 3.0, gdp_per_capita: 7_500.0, electricity_kwh: 3_500.0, users_per_host: 10.0, first_alloc_year: 1996, block_weight: 16_575.0, diurnal_propensity: 0.289 },
+    Country { code: "CO", name: "Colombia", region: Region::SouthAmerica, lon: -74.0, lat: 4.5, lon_spread: 3.0, lat_spread: 3.0, gdp_per_capita: 11_000.0, electricity_kwh: 1_100.0, users_per_host: 50.0, first_alloc_year: 1998, block_weight: 9_379.0, diurnal_propensity: 0.261 },
+    Country { code: "MY", name: "Malaysia", region: Region::SouthEasternAsia, lon: 102.0, lat: 3.5, lon_spread: 4.0, lat_spread: 2.0, gdp_per_capita: 17_200.0, electricity_kwh: 4_200.0, users_per_host: 45.0, first_alloc_year: 1995, block_weight: 9_747.0, diurnal_propensity: 0.247 },
+    Country { code: "PH", name: "Philippines", region: Region::SouthEasternAsia, lon: 122.0, lat: 13.0, lon_spread: 3.0, lat_spread: 5.0, gdp_per_capita: 4_500.0, electricity_kwh: 650.0, users_per_host: 75.0, first_alloc_year: 1997, block_weight: 5_721.0, diurnal_propensity: 0.239 },
+    Country { code: "IN", name: "India", region: Region::SouthernAsia, lon: 79.0, lat: 22.0, lon_spread: 8.0, lat_spread: 7.0, gdp_per_capita: 3_900.0, electricity_kwh: 700.0, users_per_host: 45.0, first_alloc_year: 1995, block_weight: 36_470.0, diurnal_propensity: 0.225 },
+    Country { code: "MA", name: "Morocco", region: Region::NorthernAfrica, lon: -6.5, lat: 32.0, lon_spread: 3.0, lat_spread: 2.5, gdp_per_capita: 5_400.0, electricity_kwh: 850.0, users_per_host: 55.0, first_alloc_year: 1999, block_weight: 2_115.0, diurnal_propensity: 0.185 },
+    Country { code: "BR", name: "Brazil", region: Region::SouthAmerica, lon: -47.0, lat: -15.0, lon_spread: 8.0, lat_spread: 8.0, gdp_per_capita: 12_100.0, electricity_kwh: 2_400.0, users_per_host: 8.0, first_alloc_year: 1994, block_weight: 79_095.0, diurnal_propensity: 0.185 },
+    Country { code: "VN", name: "Vietnam", region: Region::SouthEasternAsia, lon: 106.0, lat: 16.0, lon_spread: 2.0, lat_spread: 6.0, gdp_per_capita: 3_600.0, electricity_kwh: 1_100.0, users_per_host: 80.0, first_alloc_year: 2000, block_weight: 8_197.0, diurnal_propensity: 0.183 },
+    Country { code: "ID", name: "Indonesia", region: Region::SouthEasternAsia, lon: 107.0, lat: -6.5, lon_spread: 10.0, lat_spread: 3.0, gdp_per_capita: 5_100.0, electricity_kwh: 680.0, users_per_host: 65.0, first_alloc_year: 1996, block_weight: 7_617.0, diurnal_propensity: 0.166 },
+    Country { code: "RU", name: "Russia", region: Region::EasternEurope, lon: 44.0, lat: 55.5, lon_spread: 20.0, lat_spread: 4.0, gdp_per_capita: 18_000.0, electricity_kwh: 6_500.0, users_per_host: 7.0, first_alloc_year: 1993, block_weight: 53_048.0, diurnal_propensity: 0.159 },
+    // ---- United States (Table 3's comparison row) ----
+    Country { code: "US", name: "United States", region: Region::NorthernAmerica, lon: -95.0, lat: 38.0, lon_spread: 18.0, lat_spread: 6.0, gdp_per_capita: 50_700.0, electricity_kwh: 12_200.0, users_per_host: 0.5, first_alloc_year: 1984, block_weight: 672_104.0, diurnal_propensity: 0.002 },
+    // ---- Rest of the modeled world (alphabetical by code) ----
+    Country { code: "AT", name: "Austria", region: Region::WesternEurope, lon: 14.5, lat: 47.6, lon_spread: 2.0, lat_spread: 1.0, gdp_per_capita: 43_100.0, electricity_kwh: 8_000.0, users_per_host: 2.0, first_alloc_year: 1991, block_weight: 12_000.0, diurnal_propensity: 0.010 },
+    Country { code: "AU", name: "Australia", region: Region::Oceania, lon: 145.0, lat: -33.0, lon_spread: 12.0, lat_spread: 6.0, gdp_per_capita: 42_400.0, electricity_kwh: 10_000.0, users_per_host: 1.2, first_alloc_year: 1989, block_weight: 24_000.0, diurnal_propensity: 0.034 },
+    Country { code: "BE", name: "Belgium", region: Region::WesternEurope, lon: 4.5, lat: 50.8, lon_spread: 1.2, lat_spread: 0.6, gdp_per_capita: 37_800.0, electricity_kwh: 7_900.0, users_per_host: 1.6, first_alloc_year: 1990, block_weight: 13_000.0, diurnal_propensity: 0.010 },
+    Country { code: "CA", name: "Canada", region: Region::NorthernAmerica, lon: -85.0, lat: 47.0, lon_spread: 18.0, lat_spread: 3.5, gdp_per_capita: 41_500.0, electricity_kwh: 15_100.0, users_per_host: 0.8, first_alloc_year: 1988, block_weight: 48_000.0, diurnal_propensity: 0.003 },
+    Country { code: "CH", name: "Switzerland", region: Region::WesternEurope, lon: 8.2, lat: 46.8, lon_spread: 1.5, lat_spread: 0.6, gdp_per_capita: 45_300.0, electricity_kwh: 7_900.0, users_per_host: 1.3, first_alloc_year: 1990, block_weight: 14_000.0, diurnal_propensity: 0.009 },
+    Country { code: "CL", name: "Chile", region: Region::SouthAmerica, lon: -71.0, lat: -33.5, lon_spread: 1.5, lat_spread: 8.0, gdp_per_capita: 18_400.0, electricity_kwh: 3_600.0, users_per_host: 9.0, first_alloc_year: 1995, block_weight: 6_500.0, diurnal_propensity: 0.150 },
+    Country { code: "CZ", name: "Czechia", region: Region::EasternEurope, lon: 15.5, lat: 49.8, lon_spread: 2.5, lat_spread: 0.8, gdp_per_capita: 27_200.0, electricity_kwh: 6_300.0, users_per_host: 2.5, first_alloc_year: 1992, block_weight: 11_000.0, diurnal_propensity: 0.060 },
+    Country { code: "DE", name: "Germany", region: Region::WesternEurope, lon: 10.0, lat: 51.0, lon_spread: 4.0, lat_spread: 2.5, gdp_per_capita: 39_100.0, electricity_kwh: 7_100.0, users_per_host: 2.0, first_alloc_year: 1989, block_weight: 86_000.0, diurnal_propensity: 0.012 },
+    Country { code: "DO", name: "Dominican Republic", region: Region::Caribbean, lon: -70.2, lat: 18.8, lon_spread: 1.5, lat_spread: 0.7, gdp_per_capita: 9_800.0, electricity_kwh: 1_400.0, users_per_host: 40.0, first_alloc_year: 2000, block_weight: 1_200.0, diurnal_propensity: 0.016 },
+    Country { code: "EG", name: "Egypt", region: Region::NorthernAfrica, lon: 30.8, lat: 29.0, lon_spread: 2.5, lat_spread: 3.0, gdp_per_capita: 6_600.0, electricity_kwh: 1_700.0, users_per_host: 90.0, first_alloc_year: 1997, block_weight: 6_000.0, diurnal_propensity: 0.072 },
+    Country { code: "ES", name: "Spain", region: Region::SouthernEurope, lon: -3.7, lat: 40.0, lon_spread: 5.0, lat_spread: 3.0, gdp_per_capita: 30_400.0, electricity_kwh: 5_400.0, users_per_host: 6.0, first_alloc_year: 1991, block_weight: 33_000.0, diurnal_propensity: 0.085 },
+    Country { code: "FI", name: "Finland", region: Region::NorthernEurope, lon: 25.5, lat: 61.5, lon_spread: 3.5, lat_spread: 3.0, gdp_per_capita: 36_500.0, electricity_kwh: 15_500.0, users_per_host: 1.0, first_alloc_year: 1990, block_weight: 9_500.0, diurnal_propensity: 0.010 },
+    Country { code: "FR", name: "France", region: Region::WesternEurope, lon: 2.5, lat: 47.0, lon_spread: 4.5, lat_spread: 3.0, gdp_per_capita: 35_500.0, electricity_kwh: 6_800.0, users_per_host: 2.8, first_alloc_year: 1989, block_weight: 68_000.0, diurnal_propensity: 0.011 },
+    Country { code: "GB", name: "United Kingdom", region: Region::NorthernEurope, lon: -1.5, lat: 52.5, lon_spread: 3.0, lat_spread: 2.5, gdp_per_capita: 36_700.0, electricity_kwh: 5_400.0, users_per_host: 1.5, first_alloc_year: 1988, block_weight: 74_000.0, diurnal_propensity: 0.012 },
+    Country { code: "GR", name: "Greece", region: Region::SouthernEurope, lon: 23.5, lat: 38.5, lon_spread: 2.5, lat_spread: 1.5, gdp_per_capita: 24_900.0, electricity_kwh: 5_000.0, users_per_host: 10.0, first_alloc_year: 1992, block_weight: 8_500.0, diurnal_propensity: 0.110 },
+    Country { code: "HK", name: "Hong Kong", region: Region::EasternAsia, lon: 114.2, lat: 22.3, lon_spread: 0.3, lat_spread: 0.2, gdp_per_capita: 51_000.0, electricity_kwh: 5_900.0, users_per_host: 6.0, first_alloc_year: 1993, block_weight: 9_500.0, diurnal_propensity: 0.030 },
+    Country { code: "HU", name: "Hungary", region: Region::EasternEurope, lon: 19.3, lat: 47.2, lon_spread: 2.0, lat_spread: 0.8, gdp_per_capita: 19_800.0, electricity_kwh: 3_900.0, users_per_host: 4.0, first_alloc_year: 1992, block_weight: 9_000.0, diurnal_propensity: 0.090 },
+    Country { code: "IL", name: "Israel", region: Region::WesternAsia, lon: 34.9, lat: 31.8, lon_spread: 0.6, lat_spread: 1.2, gdp_per_capita: 32_800.0, electricity_kwh: 6_600.0, users_per_host: 2.2, first_alloc_year: 1991, block_weight: 8_000.0, diurnal_propensity: 0.018 },
+    Country { code: "IT", name: "Italy", region: Region::SouthernEurope, lon: 11.5, lat: 43.5, lon_spread: 4.0, lat_spread: 4.0, gdp_per_capita: 29_600.0, electricity_kwh: 5_200.0, users_per_host: 4.0, first_alloc_year: 1990, block_weight: 42_000.0, diurnal_propensity: 0.120 },
+    Country { code: "JP", name: "Japan", region: Region::EasternAsia, lon: 137.5, lat: 36.0, lon_spread: 5.0, lat_spread: 4.0, gdp_per_capita: 36_200.0, electricity_kwh: 7_200.0, users_per_host: 1.6, first_alloc_year: 1988, block_weight: 132_000.0, diurnal_propensity: 0.008 },
+    Country { code: "KR", name: "South Korea", region: Region::EasternAsia, lon: 127.5, lat: 36.5, lon_spread: 1.5, lat_spread: 1.5, gdp_per_capita: 32_400.0, electricity_kwh: 9_700.0, users_per_host: 12.0, first_alloc_year: 1990, block_weight: 62_000.0, diurnal_propensity: 0.045 },
+    Country { code: "MX", name: "Mexico", region: Region::CentralAmerica, lon: -100.0, lat: 22.0, lon_spread: 7.0, lat_spread: 4.0, gdp_per_capita: 15_300.0, electricity_kwh: 2_000.0, users_per_host: 15.0, first_alloc_year: 1994, block_weight: 30_000.0, diurnal_propensity: 0.125 },
+    Country { code: "NL", name: "Netherlands", region: Region::WesternEurope, lon: 5.3, lat: 52.2, lon_spread: 1.5, lat_spread: 1.0, gdp_per_capita: 42_300.0, electricity_kwh: 7_000.0, users_per_host: 1.2, first_alloc_year: 1989, block_weight: 28_000.0, diurnal_propensity: 0.010 },
+    Country { code: "NO", name: "Norway", region: Region::NorthernEurope, lon: 9.0, lat: 60.5, lon_spread: 4.0, lat_spread: 4.0, gdp_per_capita: 55_300.0, electricity_kwh: 23_000.0, users_per_host: 1.0, first_alloc_year: 1989, block_weight: 9_000.0, diurnal_propensity: 0.008 },
+    Country { code: "NZ", name: "New Zealand", region: Region::Oceania, lon: 174.0, lat: -39.0, lon_spread: 3.0, lat_spread: 4.0, gdp_per_capita: 29_800.0, electricity_kwh: 9_100.0, users_per_host: 1.1, first_alloc_year: 1990, block_weight: 4_500.0, diurnal_propensity: 0.036 },
+    Country { code: "PL", name: "Poland", region: Region::EasternEurope, lon: 19.5, lat: 52.0, lon_spread: 4.5, lat_spread: 2.5, gdp_per_capita: 21_000.0, electricity_kwh: 3_900.0, users_per_host: 4.0, first_alloc_year: 1991, block_weight: 20_000.0, diurnal_propensity: 0.095 },
+    Country { code: "PT", name: "Portugal", region: Region::SouthernEurope, lon: -8.3, lat: 39.8, lon_spread: 1.2, lat_spread: 2.0, gdp_per_capita: 23_400.0, electricity_kwh: 4_700.0, users_per_host: 5.0, first_alloc_year: 1991, block_weight: 8_500.0, diurnal_propensity: 0.115 },
+    Country { code: "RO", name: "Romania", region: Region::EasternEurope, lon: 25.0, lat: 45.8, lon_spread: 3.5, lat_spread: 1.8, gdp_per_capita: 13_000.0, electricity_kwh: 2_400.0, users_per_host: 8.0, first_alloc_year: 1993, block_weight: 10_000.0, diurnal_propensity: 0.190 },
+    Country { code: "SA", name: "Saudi Arabia", region: Region::WesternAsia, lon: 45.0, lat: 24.5, lon_spread: 6.0, lat_spread: 4.0, gdp_per_capita: 31_800.0, electricity_kwh: 8_700.0, users_per_host: 20.0, first_alloc_year: 1995, block_weight: 7_000.0, diurnal_propensity: 0.055 },
+    Country { code: "SE", name: "Sweden", region: Region::NorthernEurope, lon: 15.5, lat: 59.5, lon_spread: 3.5, lat_spread: 4.0, gdp_per_capita: 41_900.0, electricity_kwh: 13_500.0, users_per_host: 0.9, first_alloc_year: 1988, block_weight: 19_000.0, diurnal_propensity: 0.009 },
+    Country { code: "SG", name: "Singapore", region: Region::SouthEasternAsia, lon: 103.85, lat: 1.3, lon_spread: 0.2, lat_spread: 0.1, gdp_per_capita: 61_400.0, electricity_kwh: 8_400.0, users_per_host: 4.0, first_alloc_year: 1992, block_weight: 7_000.0, diurnal_propensity: 0.040 },
+    Country { code: "TR", name: "Turkey", region: Region::WesternAsia, lon: 33.0, lat: 39.0, lon_spread: 7.0, lat_spread: 2.0, gdp_per_capita: 15_200.0, electricity_kwh: 2_700.0, users_per_host: 12.0, first_alloc_year: 1993, block_weight: 16_000.0, diurnal_propensity: 0.080 },
+    Country { code: "TW", name: "Taiwan", region: Region::EasternAsia, lon: 121.0, lat: 23.8, lon_spread: 0.8, lat_spread: 1.2, gdp_per_capita: 38_900.0, electricity_kwh: 10_000.0, users_per_host: 3.5, first_alloc_year: 1991, block_weight: 26_000.0, diurnal_propensity: 0.085 },
+    Country { code: "VE", name: "Venezuela", region: Region::SouthAmerica, lon: -66.5, lat: 8.5, lon_spread: 4.0, lat_spread: 3.0, gdp_per_capita: 13_200.0, electricity_kwh: 3_300.0, users_per_host: 25.0, first_alloc_year: 1997, block_weight: 5_500.0, diurnal_propensity: 0.240 },
+    Country { code: "ZA", name: "South Africa", region: Region::SouthernAfrica, lon: 25.5, lat: -29.0, lon_spread: 5.0, lat_spread: 4.0, gdp_per_capita: 11_300.0, electricity_kwh: 4_400.0, users_per_host: 14.0, first_alloc_year: 1991, block_weight: 11_500.0, diurnal_propensity: 0.011 },
+    // ---- Extended world coverage (smaller address populations) ----
+    Country { code: "AE", name: "United Arab Emirates", region: Region::WesternAsia, lon: 54.0, lat: 24.0, lon_spread: 2.0, lat_spread: 1.0, gdp_per_capita: 49_000.0, electricity_kwh: 11_000.0, users_per_host: 4.0, first_alloc_year: 1995, block_weight: 6_000.0, diurnal_propensity: 0.03 },
+    Country { code: "AL", name: "Albania", region: Region::SouthernEurope, lon: 20.0, lat: 41.0, lon_spread: 0.8, lat_spread: 1.0, gdp_per_capita: 8_000.0, electricity_kwh: 1_900.0, users_per_host: 25.0, first_alloc_year: 1999, block_weight: 1_000.0, diurnal_propensity: 0.22 },
+    Country { code: "BA", name: "Bosnia and Herzegovina", region: Region::SouthernEurope, lon: 17.8, lat: 44.0, lon_spread: 1.2, lat_spread: 0.8, gdp_per_capita: 8_300.0, electricity_kwh: 3_000.0, users_per_host: 18.0, first_alloc_year: 1998, block_weight: 1_500.0, diurnal_propensity: 0.18 },
+    Country { code: "BD", name: "Bangladesh", region: Region::SouthernAsia, lon: 90.3, lat: 23.8, lon_spread: 2.0, lat_spread: 1.5, gdp_per_capita: 2_000.0, electricity_kwh: 280.0, users_per_host: 90.0, first_alloc_year: 2000, block_weight: 3_000.0, diurnal_propensity: 0.26 },
+    Country { code: "BG", name: "Bulgaria", region: Region::EasternEurope, lon: 25.2, lat: 42.8, lon_spread: 2.0, lat_spread: 0.9, gdp_per_capita: 14_200.0, electricity_kwh: 4_500.0, users_per_host: 7.0, first_alloc_year: 1993, block_weight: 7_000.0, diurnal_propensity: 0.17 },
+    Country { code: "BO", name: "Bolivia", region: Region::SouthAmerica, lon: -65.0, lat: -17.0, lon_spread: 3.0, lat_spread: 3.0, gdp_per_capita: 5_200.0, electricity_kwh: 650.0, users_per_host: 55.0, first_alloc_year: 1999, block_weight: 1_500.0, diurnal_propensity: 0.28 },
+    Country { code: "BW", name: "Botswana", region: Region::SouthernAfrica, lon: 24.0, lat: -22.3, lon_spread: 2.0, lat_spread: 2.0, gdp_per_capita: 16_400.0, electricity_kwh: 1_600.0, users_per_host: 12.0, first_alloc_year: 1998, block_weight: 700.0, diurnal_propensity: 0.02 },
+    Country { code: "CR", name: "Costa Rica", region: Region::CentralAmerica, lon: -84.0, lat: 10.0, lon_spread: 1.0, lat_spread: 0.7, gdp_per_capita: 12_600.0, electricity_kwh: 1_900.0, users_per_host: 10.0, first_alloc_year: 1995, block_weight: 2_500.0, diurnal_propensity: 0.08 },
+    Country { code: "CU", name: "Cuba", region: Region::Caribbean, lon: -79.5, lat: 22.0, lon_spread: 3.0, lat_spread: 1.0, gdp_per_capita: 10_200.0, electricity_kwh: 1_300.0, users_per_host: 150.0, first_alloc_year: 2001, block_weight: 600.0, diurnal_propensity: 0.1 },
+    Country { code: "DK", name: "Denmark", region: Region::NorthernEurope, lon: 10.0, lat: 56.0, lon_spread: 1.5, lat_spread: 0.8, gdp_per_capita: 38_300.0, electricity_kwh: 6_000.0, users_per_host: 1.0, first_alloc_year: 1989, block_weight: 11_000.0, diurnal_propensity: 0.009 },
+    Country { code: "DZ", name: "Algeria", region: Region::NorthernAfrica, lon: 3.0, lat: 32.0, lon_spread: 4.0, lat_spread: 3.0, gdp_per_capita: 7_500.0, electricity_kwh: 1_100.0, users_per_host: 60.0, first_alloc_year: 1997, block_weight: 2_500.0, diurnal_propensity: 0.11 },
+    Country { code: "EC", name: "Ecuador", region: Region::SouthAmerica, lon: -78.5, lat: -1.5, lon_spread: 1.5, lat_spread: 2.0, gdp_per_capita: 10_000.0, electricity_kwh: 1_100.0, users_per_host: 40.0, first_alloc_year: 1998, block_weight: 3_000.0, diurnal_propensity: 0.24 },
+    Country { code: "EE", name: "Estonia", region: Region::NorthernEurope, lon: 25.5, lat: 58.8, lon_spread: 1.5, lat_spread: 0.5, gdp_per_capita: 21_200.0, electricity_kwh: 6_200.0, users_per_host: 3.0, first_alloc_year: 1993, block_weight: 3_000.0, diurnal_propensity: 0.05 },
+    Country { code: "FJ", name: "Fiji", region: Region::Oceania, lon: 178.0, lat: -17.8, lon_spread: 1.0, lat_spread: 0.8, gdp_per_capita: 4_900.0, electricity_kwh: 900.0, users_per_host: 25.0, first_alloc_year: 1998, block_weight: 400.0, diurnal_propensity: 0.06 },
+    Country { code: "GT", name: "Guatemala", region: Region::CentralAmerica, lon: -90.4, lat: 15.5, lon_spread: 1.0, lat_spread: 1.0, gdp_per_capita: 5_200.0, electricity_kwh: 550.0, users_per_host: 65.0, first_alloc_year: 1999, block_weight: 1_800.0, diurnal_propensity: 0.18 },
+    Country { code: "HN", name: "Honduras", region: Region::CentralAmerica, lon: -87.0, lat: 14.7, lon_spread: 1.5, lat_spread: 0.8, gdp_per_capita: 4_600.0, electricity_kwh: 650.0, users_per_host: 70.0, first_alloc_year: 2000, block_weight: 900.0, diurnal_propensity: 0.2 },
+    Country { code: "HR", name: "Croatia", region: Region::SouthernEurope, lon: 16.0, lat: 45.5, lon_spread: 1.8, lat_spread: 0.9, gdp_per_capita: 17_800.0, electricity_kwh: 3_800.0, users_per_host: 6.0, first_alloc_year: 1993, block_weight: 5_000.0, diurnal_propensity: 0.12 },
+    Country { code: "IE", name: "Ireland", region: Region::NorthernEurope, lon: -8.0, lat: 53.2, lon_spread: 1.5, lat_spread: 1.0, gdp_per_capita: 41_300.0, electricity_kwh: 5_700.0, users_per_host: 1.3, first_alloc_year: 1990, block_weight: 7_000.0, diurnal_propensity: 0.011 },
+    Country { code: "IQ", name: "Iraq", region: Region::WesternAsia, lon: 44.0, lat: 33.0, lon_spread: 3.0, lat_spread: 2.5, gdp_per_capita: 7_100.0, electricity_kwh: 1_300.0, users_per_host: 70.0, first_alloc_year: 2004, block_weight: 1_000.0, diurnal_propensity: 0.15 },
+    Country { code: "IR", name: "Iran", region: Region::SouthernAsia, lon: 53.0, lat: 32.5, lon_spread: 6.0, lat_spread: 4.0, gdp_per_capita: 13_100.0, electricity_kwh: 2_900.0, users_per_host: 40.0, first_alloc_year: 1995, block_weight: 8_000.0, diurnal_propensity: 0.18 },
+    Country { code: "IS", name: "Iceland", region: Region::NorthernEurope, lon: -19.0, lat: 65.0, lon_spread: 2.0, lat_spread: 0.8, gdp_per_capita: 39_400.0, electricity_kwh: 29_000.0, users_per_host: 0.9, first_alloc_year: 1991, block_weight: 1_500.0, diurnal_propensity: 0.008 },
+    Country { code: "JM", name: "Jamaica", region: Region::Caribbean, lon: -77.3, lat: 18.1, lon_spread: 0.8, lat_spread: 0.4, gdp_per_capita: 9_000.0, electricity_kwh: 1_100.0, users_per_host: 30.0, first_alloc_year: 1996, block_weight: 900.0, diurnal_propensity: 0.04 },
+    Country { code: "JO", name: "Jordan", region: Region::WesternAsia, lon: 36.5, lat: 31.2, lon_spread: 1.5, lat_spread: 1.2, gdp_per_capita: 6_100.0, electricity_kwh: 2_200.0, users_per_host: 30.0, first_alloc_year: 1997, block_weight: 2_000.0, diurnal_propensity: 0.12 },
+    Country { code: "KG", name: "Kyrgyzstan", region: Region::CentralAsia, lon: 74.5, lat: 41.5, lon_spread: 2.5, lat_spread: 1.0, gdp_per_capita: 2_400.0, electricity_kwh: 1_500.0, users_per_host: 45.0, first_alloc_year: 2001, block_weight: 700.0, diurnal_propensity: 0.36 },
+    Country { code: "KH", name: "Cambodia", region: Region::SouthEasternAsia, lon: 105.0, lat: 12.0, lon_spread: 2.0, lat_spread: 1.5, gdp_per_capita: 2_400.0, electricity_kwh: 160.0, users_per_host: 85.0, first_alloc_year: 2002, block_weight: 700.0, diurnal_propensity: 0.25 },
+    Country { code: "KW", name: "Kuwait", region: Region::WesternAsia, lon: 47.8, lat: 29.3, lon_spread: 0.6, lat_spread: 0.5, gdp_per_capita: 43_800.0, electricity_kwh: 16_000.0, users_per_host: 5.0, first_alloc_year: 1994, block_weight: 2_500.0, diurnal_propensity: 0.03 },
+    Country { code: "LA", name: "Laos", region: Region::SouthEasternAsia, lon: 103.0, lat: 18.5, lon_spread: 2.0, lat_spread: 2.5, gdp_per_capita: 3_000.0, electricity_kwh: 300.0, users_per_host: 80.0, first_alloc_year: 2003, block_weight: 500.0, diurnal_propensity: 0.26 },
+    Country { code: "LB", name: "Lebanon", region: Region::WesternAsia, lon: 35.8, lat: 33.8, lon_spread: 0.5, lat_spread: 0.6, gdp_per_capita: 15_800.0, electricity_kwh: 3_500.0, users_per_host: 20.0, first_alloc_year: 1996, block_weight: 2_000.0, diurnal_propensity: 0.1 },
+    Country { code: "LK", name: "Sri Lanka", region: Region::SouthernAsia, lon: 80.7, lat: 7.5, lon_spread: 1.0, lat_spread: 1.2, gdp_per_capita: 6_100.0, electricity_kwh: 490.0, users_per_host: 45.0, first_alloc_year: 1997, block_weight: 2_000.0, diurnal_propensity: 0.19 },
+    Country { code: "LT", name: "Lithuania", region: Region::NorthernEurope, lon: 24.0, lat: 55.3, lon_spread: 1.5, lat_spread: 0.6, gdp_per_capita: 20_100.0, electricity_kwh: 3_400.0, users_per_host: 6.0, first_alloc_year: 1994, block_weight: 4_000.0, diurnal_propensity: 0.11 },
+    Country { code: "LV", name: "Latvia", region: Region::NorthernEurope, lon: 24.6, lat: 56.9, lon_spread: 1.5, lat_spread: 0.5, gdp_per_capita: 18_100.0, electricity_kwh: 3_200.0, users_per_host: 6.0, first_alloc_year: 1994, block_weight: 3_500.0, diurnal_propensity: 0.12 },
+    Country { code: "LY", name: "Libya", region: Region::NorthernAfrica, lon: 17.0, lat: 27.0, lon_spread: 4.0, lat_spread: 2.5, gdp_per_capita: 12_300.0, electricity_kwh: 3_900.0, users_per_host: 50.0, first_alloc_year: 2000, block_weight: 800.0, diurnal_propensity: 0.1 },
+    Country { code: "MD", name: "Moldova", region: Region::EasternEurope, lon: 28.5, lat: 47.0, lon_spread: 1.0, lat_spread: 0.8, gdp_per_capita: 3_500.0, electricity_kwh: 1_400.0, users_per_host: 30.0, first_alloc_year: 2000, block_weight: 1_500.0, diurnal_propensity: 0.3 },
+    Country { code: "MK", name: "North Macedonia", region: Region::SouthernEurope, lon: 21.7, lat: 41.6, lon_spread: 0.8, lat_spread: 0.5, gdp_per_capita: 10_700.0, electricity_kwh: 3_500.0, users_per_host: 15.0, first_alloc_year: 1997, block_weight: 1_200.0, diurnal_propensity: 0.2 },
+    Country { code: "MM", name: "Myanmar", region: Region::SouthEasternAsia, lon: 96.0, lat: 20.0, lon_spread: 2.5, lat_spread: 4.0, gdp_per_capita: 1_400.0, electricity_kwh: 110.0, users_per_host: 95.0, first_alloc_year: 2005, block_weight: 400.0, diurnal_propensity: 0.3 },
+    Country { code: "MN", name: "Mongolia", region: Region::EasternAsia, lon: 105.0, lat: 47.0, lon_spread: 5.0, lat_spread: 2.0, gdp_per_capita: 5_400.0, electricity_kwh: 1_600.0, users_per_host: 35.0, first_alloc_year: 2001, block_weight: 1_000.0, diurnal_propensity: 0.35 },
+    Country { code: "NA", name: "Namibia", region: Region::SouthernAfrica, lon: 17.0, lat: -22.5, lon_spread: 3.0, lat_spread: 3.0, gdp_per_capita: 8_200.0, electricity_kwh: 1_500.0, users_per_host: 15.0, first_alloc_year: 1997, block_weight: 500.0, diurnal_propensity: 0.02 },
+    Country { code: "NI", name: "Nicaragua", region: Region::CentralAmerica, lon: -85.5, lat: 12.5, lon_spread: 1.5, lat_spread: 1.0, gdp_per_capita: 4_500.0, electricity_kwh: 500.0, users_per_host: 75.0, first_alloc_year: 2000, block_weight: 700.0, diurnal_propensity: 0.22 },
+    Country { code: "NP", name: "Nepal", region: Region::SouthernAsia, lon: 84.0, lat: 28.0, lon_spread: 2.5, lat_spread: 0.8, gdp_per_capita: 1_300.0, electricity_kwh: 120.0, users_per_host: 70.0, first_alloc_year: 2001, block_weight: 800.0, diurnal_propensity: 0.28 },
+    Country { code: "PA", name: "Panama", region: Region::CentralAmerica, lon: -80.0, lat: 8.8, lon_spread: 1.5, lat_spread: 0.5, gdp_per_capita: 15_600.0, electricity_kwh: 1_900.0, users_per_host: 12.0, first_alloc_year: 1996, block_weight: 1_800.0, diurnal_propensity: 0.1 },
+    Country { code: "PG", name: "Papua New Guinea", region: Region::Oceania, lon: 145.0, lat: -6.5, lon_spread: 3.0, lat_spread: 2.5, gdp_per_capita: 2_900.0, electricity_kwh: 450.0, users_per_host: 90.0, first_alloc_year: 2000, block_weight: 300.0, diurnal_propensity: 0.08 },
+    Country { code: "PK", name: "Pakistan", region: Region::SouthernAsia, lon: 70.0, lat: 30.0, lon_spread: 4.0, lat_spread: 3.5, gdp_per_capita: 2_900.0, electricity_kwh: 450.0, users_per_host: 60.0, first_alloc_year: 1998, block_weight: 5_000.0, diurnal_propensity: 0.24 },
+    Country { code: "PY", name: "Paraguay", region: Region::SouthAmerica, lon: -58.0, lat: -23.5, lon_spread: 2.0, lat_spread: 2.0, gdp_per_capita: 6_100.0, electricity_kwh: 1_200.0, users_per_host: 50.0, first_alloc_year: 1999, block_weight: 1_200.0, diurnal_propensity: 0.24 },
+    Country { code: "QA", name: "Qatar", region: Region::WesternAsia, lon: 51.2, lat: 25.3, lon_spread: 0.4, lat_spread: 0.4, gdp_per_capita: 102_000.0, electricity_kwh: 15_000.0, users_per_host: 3.0, first_alloc_year: 1997, block_weight: 2_500.0, diurnal_propensity: 0.02 },
+    Country { code: "SD", name: "Sudan", region: Region::NorthernAfrica, lon: 30.0, lat: 15.0, lon_spread: 4.0, lat_spread: 3.0, gdp_per_capita: 2_600.0, electricity_kwh: 160.0, users_per_host: 90.0, first_alloc_year: 2002, block_weight: 500.0, diurnal_propensity: 0.13 },
+    Country { code: "SI", name: "Slovenia", region: Region::SouthernEurope, lon: 14.8, lat: 46.1, lon_spread: 0.8, lat_spread: 0.5, gdp_per_capita: 28_600.0, electricity_kwh: 6_500.0, users_per_host: 3.0, first_alloc_year: 1992, block_weight: 4_500.0, diurnal_propensity: 0.07 },
+    Country { code: "SK", name: "Slovakia", region: Region::EasternEurope, lon: 19.5, lat: 48.7, lon_spread: 1.8, lat_spread: 0.5, gdp_per_capita: 24_100.0, electricity_kwh: 5_100.0, users_per_host: 4.0, first_alloc_year: 1993, block_weight: 6_000.0, diurnal_propensity: 0.09 },
+    Country { code: "TJ", name: "Tajikistan", region: Region::CentralAsia, lon: 71.0, lat: 38.8, lon_spread: 2.0, lat_spread: 1.2, gdp_per_capita: 2_200.0, electricity_kwh: 1_400.0, users_per_host: 55.0, first_alloc_year: 2002, block_weight: 500.0, diurnal_propensity: 0.4 },
+    Country { code: "TN", name: "Tunisia", region: Region::NorthernAfrica, lon: 9.5, lat: 34.5, lon_spread: 1.2, lat_spread: 1.5, gdp_per_capita: 9_700.0, electricity_kwh: 1_400.0, users_per_host: 45.0, first_alloc_year: 1996, block_weight: 2_500.0, diurnal_propensity: 0.12 },
+    Country { code: "TT", name: "Trinidad and Tobago", region: Region::Caribbean, lon: -61.3, lat: 10.5, lon_spread: 0.5, lat_spread: 0.4, gdp_per_capita: 20_400.0, electricity_kwh: 6_100.0, users_per_host: 12.0, first_alloc_year: 1995, block_weight: 800.0, diurnal_propensity: 0.02 },
+    Country { code: "UY", name: "Uruguay", region: Region::SouthAmerica, lon: -56.0, lat: -33.0, lon_spread: 1.5, lat_spread: 1.5, gdp_per_capita: 16_200.0, electricity_kwh: 2_800.0, users_per_host: 8.0, first_alloc_year: 1995, block_weight: 3_500.0, diurnal_propensity: 0.16 },
+    Country { code: "UZ", name: "Uzbekistan", region: Region::CentralAsia, lon: 64.5, lat: 41.5, lon_spread: 4.0, lat_spread: 2.0, gdp_per_capita: 3_600.0, electricity_kwh: 1_600.0, users_per_host: 50.0, first_alloc_year: 2000, block_weight: 1_200.0, diurnal_propensity: 0.38 },
+];
+
+/// All modeled countries.
+pub fn all() -> &'static [Country] {
+    COUNTRIES
+}
+
+/// Looks up a country by ISO code.
+pub fn by_code(code: &str) -> Option<&'static Country> {
+    COUNTRIES.iter().find(|c| c.code == code)
+}
+
+/// Total of all `block_weight`s (for turning weights into shares).
+pub fn total_block_weight() -> f64 {
+    COUNTRIES.iter().map(|c| c.block_weight).sum()
+}
+
+/// The world's planted diurnal fraction: the block-weighted mean of
+/// `diurnal_propensity`. The paper measures 11 % strictly-diurnal; the table
+/// is calibrated to land close to that.
+pub fn planted_world_diurnal_fraction() -> f64 {
+    let total = total_block_weight();
+    COUNTRIES.iter().map(|c| c.block_weight * c.diurnal_propensity).sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_two_letter_uppercase() {
+        for (i, a) in COUNTRIES.iter().enumerate() {
+            assert_eq!(a.code.len(), 2, "{}", a.code);
+            assert!(a.code.chars().all(|c| c.is_ascii_uppercase()));
+            for b in &COUNTRIES[i + 1..] {
+                assert_ne!(a.code, b.code);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_code() {
+        assert_eq!(by_code("CN").unwrap().name, "China");
+        assert_eq!(by_code("US").unwrap().gdp_per_capita, 50_700.0);
+        assert!(by_code("XX").is_none());
+    }
+
+    #[test]
+    fn table3_values_verbatim() {
+        // Spot-check the paper's Table 3 numbers.
+        let am = by_code("AM").unwrap();
+        assert_eq!(am.diurnal_propensity, 0.630);
+        assert_eq!(am.gdp_per_capita, 5_900.0);
+        assert_eq!(am.block_weight, 1_075.0);
+        let ru = by_code("RU").unwrap();
+        assert_eq!(ru.diurnal_propensity, 0.159);
+        assert_eq!(ru.block_weight, 53_048.0);
+        let us = by_code("US").unwrap();
+        assert_eq!(us.diurnal_propensity, 0.002);
+        assert_eq!(us.block_weight, 672_104.0);
+    }
+
+    #[test]
+    fn geography_is_sane() {
+        for c in COUNTRIES {
+            assert!((-180.0..=180.0).contains(&c.lon), "{}", c.code);
+            assert!((-90.0..=90.0).contains(&c.lat), "{}", c.code);
+            assert!(c.lon_spread > 0.0 && c.lat_spread > 0.0);
+        }
+    }
+
+    #[test]
+    fn economics_are_positive_and_plausible() {
+        for c in COUNTRIES {
+            assert!(c.gdp_per_capita > 1_000.0 && c.gdp_per_capita < 120_000.0, "{}", c.code);
+            assert!(c.electricity_kwh > 100.0 && c.electricity_kwh < 30_000.0, "{}", c.code);
+            assert!(c.users_per_host > 0.0);
+            assert!((1983..=2011).contains(&c.first_alloc_year), "{}", c.code);
+            assert!((0.0..=1.0).contains(&c.diurnal_propensity));
+            assert!(c.block_weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn planted_world_fraction_near_paper() {
+        // The paper reports 11 % strictly diurnal; the planted world should
+        // sit in the same neighbourhood so fractions downstream match.
+        let f = planted_world_diurnal_fraction();
+        assert!((0.08..=0.16).contains(&f), "planted fraction {f}");
+    }
+
+    #[test]
+    fn gdp_anticorrelates_with_propensity() {
+        // The planted data must carry the paper's central finding.
+        let gdps: Vec<f64> = COUNTRIES.iter().map(|c| c.gdp_per_capita).collect();
+        let props: Vec<f64> = COUNTRIES.iter().map(|c| c.diurnal_propensity).collect();
+        let n = gdps.len() as f64;
+        let mg = gdps.iter().sum::<f64>() / n;
+        let mp = props.iter().sum::<f64>() / n;
+        let cov: f64 =
+            gdps.iter().zip(&props).map(|(&g, &p)| (g - mg) * (p - mp)).sum::<f64>();
+        assert!(cov < 0.0, "GDP and diurnal propensity must anticorrelate");
+    }
+
+    #[test]
+    fn timezones_are_civil_not_solar() {
+        assert_eq!(by_code("CN").unwrap().utc_offset_hours(), 8.0);
+        // Whole-hour quantization for the default path.
+        let us = by_code("US").unwrap();
+        assert_eq!(us.utc_offset_hours(), (-95.0f64 / 15.0).round());
+        assert_eq!(us.utc_offset_hours() % 1.0, 0.0);
+        // Political skews.
+        assert_eq!(by_code("ES").unwrap().utc_offset_hours(), 1.0);
+        assert_eq!(by_code("AR").unwrap().utc_offset_hours(), -3.0);
+        // Fractional offsets exist.
+        assert_eq!(by_code("IN").unwrap().utc_offset_hours(), 5.5);
+        assert_eq!(by_code("NP").unwrap().utc_offset_hours(), 5.75);
+        // Every modeled offset stays within civil-time bounds and near the
+        // country's solar time (±3.5 h covers every real case here).
+        for c in COUNTRIES {
+            let off = c.utc_offset_hours();
+            assert!((-12.0..=14.0).contains(&off), "{}: {off}", c.code);
+            assert!(
+                (off - c.lon / 15.0).abs() <= 3.51,
+                "{}: civil {} vs solar {}",
+                c.code,
+                off,
+                c.lon / 15.0
+            );
+        }
+    }
+
+    #[test]
+    fn every_region_has_a_country() {
+        for r in crate::region::Region::ALL {
+            assert!(
+                COUNTRIES.iter().any(|c| c.region == r),
+                "region {r} has no modeled country"
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! UN-style subregions, matching the grouping of the paper's Table 4.
+
+/// Geographic region of a country (the paper's Table 4 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Region {
+    NorthernAmerica,
+    SouthernAfrica,
+    WesternEurope,
+    NorthernEurope,
+    Caribbean,
+    Oceania,
+    WesternAsia,
+    NorthernAfrica,
+    SouthernEurope,
+    CentralAmerica,
+    EasternEurope,
+    SouthernAsia,
+    SouthAmerica,
+    SouthEasternAsia,
+    EasternAsia,
+    CentralAsia,
+}
+
+impl Region {
+    /// All regions, in the (ascending diurnal-fraction) order of Table 4.
+    pub const ALL: [Region; 16] = [
+        Region::NorthernAmerica,
+        Region::SouthernAfrica,
+        Region::WesternEurope,
+        Region::NorthernEurope,
+        Region::Caribbean,
+        Region::Oceania,
+        Region::WesternAsia,
+        Region::NorthernAfrica,
+        Region::SouthernEurope,
+        Region::CentralAmerica,
+        Region::EasternEurope,
+        Region::SouthernAsia,
+        Region::SouthAmerica,
+        Region::SouthEasternAsia,
+        Region::EasternAsia,
+        Region::CentralAsia,
+    ];
+
+    /// The display name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::NorthernAmerica => "Northern America",
+            Region::SouthernAfrica => "Southern Africa",
+            Region::WesternEurope => "W. Europe",
+            Region::NorthernEurope => "Northern Europe",
+            Region::Caribbean => "Caribbean",
+            Region::Oceania => "Oceania",
+            Region::WesternAsia => "W. Asia",
+            Region::NorthernAfrica => "Northern Africa",
+            Region::SouthernEurope => "Southern Europe",
+            Region::CentralAmerica => "Central America",
+            Region::EasternEurope => "Eastern Europe",
+            Region::SouthernAsia => "Southern Asia",
+            Region::SouthAmerica => "South America",
+            Region::SouthEasternAsia => "South-Eastern Asia",
+            Region::EasternAsia => "Eastern Asia",
+            Region::CentralAsia => "Central Asia",
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_regions_unique() {
+        for (i, a) in Region::ALL.iter().enumerate() {
+            for b in &Region::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_table4_spelling() {
+        assert_eq!(Region::WesternEurope.name(), "W. Europe");
+        assert_eq!(Region::SouthEasternAsia.name(), "South-Eastern Asia");
+        assert_eq!(format!("{}", Region::CentralAsia), "Central Asia");
+    }
+
+    #[test]
+    fn sixteen_regions_like_table4() {
+        assert_eq!(Region::ALL.len(), 16);
+    }
+}

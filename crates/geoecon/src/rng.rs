@@ -1,0 +1,211 @@
+//! Deterministic, stateless randomness for the synthetic world.
+//!
+//! Every stochastic choice in the simulation derives from splitmix64 hashes
+//! of *semantic keys* — (seed, block, address, round, purpose) — rather than
+//! from a shared mutable generator. That makes results independent of
+//! evaluation order and thread count, and lets any address's behaviour at
+//! any instant be recomputed in O(1) without materializing timelines.
+//!
+//! This lives in `geoecon` (the lowest crate with simulation randomness) so
+//! the world generator and the geolocation error model share one stream
+//! discipline.
+
+/// One splitmix64 step: advances the state and returns the next value.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes a list of key parts into a single well-distributed 64-bit value.
+pub fn hash_parts(parts: &[u64]) -> u64 {
+    let mut state = 0x243F_6A88_85A3_08D3; // π fractional bits: fixed salt
+    let mut acc = 0u64;
+    for &p in parts {
+        state ^= p;
+        acc = splitmix64(&mut state) ^ acc.rotate_left(17);
+    }
+    // One extra scramble so short keys are well mixed too.
+    state ^= acc;
+    splitmix64(&mut state)
+}
+
+/// A small deterministic generator seeded from semantic key parts.
+#[derive(Debug, Clone)]
+pub struct KeyedRng {
+    state: u64,
+}
+
+impl KeyedRng {
+    /// Creates a generator keyed by the given parts.
+    pub fn from_parts(parts: &[u64]) -> Self {
+        KeyedRng { state: hash_parts(parts) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`. Returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        // Multiply-shift rejection-free mapping; bias is < 2⁻⁶⁴·n, which is
+        // immaterial for simulation purposes.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE); // avoid ln(0)
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.normal()
+    }
+}
+
+/// Convenience: one uniform `[0, 1)` draw from key parts.
+pub fn uniform_at(parts: &[u64]) -> f64 {
+    (hash_parts(parts) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Convenience: one Bernoulli draw from key parts.
+pub fn chance_at(p: f64, parts: &[u64]) -> bool {
+    uniform_at(parts) < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash_parts(&[1, 2, 3]), hash_parts(&[1, 2, 3]));
+        assert_ne!(hash_parts(&[1, 2, 3]), hash_parts(&[1, 2, 4]));
+        assert_ne!(hash_parts(&[1, 2, 3]), hash_parts(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn order_sensitivity_of_parts() {
+        // (block=5, addr=1) must differ from (block=1, addr=5).
+        assert_ne!(hash_parts(&[5, 1]), hash_parts(&[1, 5]));
+    }
+
+    #[test]
+    fn empty_and_zero_keys_do_not_collide_trivially() {
+        assert_ne!(hash_parts(&[]), hash_parts(&[0]));
+        assert_ne!(hash_parts(&[0]), hash_parts(&[0, 0]));
+    }
+
+    #[test]
+    fn uniform_mean_and_bounds() {
+        let mut rng = KeyedRng::from_parts(&[42]);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = KeyedRng::from_parts(&[7]);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reached");
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = KeyedRng::from_parts(&[9]);
+        for _ in 0..100 {
+            assert!(!rng.chance(0.0));
+            assert!(rng.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = KeyedRng::from_parts(&[1234]);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_with_scales() {
+        let mut rng = KeyedRng::from_parts(&[555]);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal_with(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn stateless_helpers_match_keyed_semantics() {
+        let u = uniform_at(&[3, 4, 5]);
+        assert!((0.0..1.0).contains(&u));
+        assert_eq!(uniform_at(&[3, 4, 5]), u);
+        assert!(chance_at(1.0, &[1]));
+        assert!(!chance_at(0.0, &[1]));
+    }
+
+    #[test]
+    fn streams_are_independent_ish() {
+        // Correlation between two differently-keyed streams should be tiny.
+        let mut a = KeyedRng::from_parts(&[1, 0]);
+        let mut b = KeyedRng::from_parts(&[1, 1]);
+        let n = 5_000;
+        let xs: Vec<f64> = (0..n).map(|_| a.next_f64()).collect();
+        let ys: Vec<f64> = (0..n).map(|_| b.next_f64()).collect();
+        let mx = xs.iter().sum::<f64>() / n as f64;
+        let my = ys.iter().sum::<f64>() / n as f64;
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        for i in 0..n {
+            sxy += (xs[i] - mx) * (ys[i] - my);
+            sxx += (xs[i] - mx) * (xs[i] - mx);
+            syy += (ys[i] - my) * (ys[i] - my);
+        }
+        let r = sxy / (sxx * syy).sqrt();
+        assert!(r.abs() < 0.05, "cross-stream correlation {r}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for geography/registry substrates.
+
+use proptest::prelude::*;
+use sleepwatch_geoecon::allocation::{AllocationRegistry, Rir, YearMonth};
+use sleepwatch_geoecon::country::COUNTRIES;
+use sleepwatch_geoecon::geolocate::{GeoConfig, GeoDatabase};
+use sleepwatch_geoecon::rng::{hash_parts, KeyedRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn year_month_roundtrips(m in -600i64..2_000) {
+        let ym = YearMonth::from_months_since_epoch(m);
+        prop_assert_eq!(ym.months_since_epoch(), m);
+    }
+
+    #[test]
+    fn months_between_is_antisymmetric(a in 0i64..1_000, b in 0i64..1_000) {
+        let ya = YearMonth::from_months_since_epoch(a);
+        let yb = YearMonth::from_months_since_epoch(b);
+        prop_assert_eq!(ya.months_between(yb), -(yb.months_between(ya)));
+    }
+
+    #[test]
+    fn keyed_rng_outputs_unit_interval(parts in prop::collection::vec(any::<u64>(), 1..6)) {
+        let mut rng = KeyedRng::from_parts(&parts);
+        for _ in 0..32 {
+            let u = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound(parts in prop::collection::vec(any::<u64>(), 1..4), n in 1u64..10_000) {
+        let mut rng = KeyedRng::from_parts(&parts);
+        for _ in 0..16 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn hash_is_pure(parts in prop::collection::vec(any::<u64>(), 0..8)) {
+        prop_assert_eq!(hash_parts(&parts), hash_parts(&parts));
+    }
+
+    #[test]
+    fn geolocation_outputs_valid_coordinates(
+        seed in any::<u64>(),
+        block in any::<u64>(),
+        ci in 0usize..COUNTRIES.len(),
+        dlon in -5.0f64..5.0,
+        dlat in -5.0f64..5.0,
+    ) {
+        let db = GeoDatabase::with_config(
+            seed,
+            GeoConfig { coverage: 1.0, error_km: 40.0, centroid_fraction: 0.1 },
+        );
+        let c = &COUNTRIES[ci];
+        let loc = db.locate(block, c, (c.lon + dlon).clamp(-179.9, 179.9), (c.lat + dlat).clamp(-85.0, 85.0));
+        let loc = loc.expect("full coverage configured");
+        prop_assert!((-180.0..180.0).contains(&loc.lon));
+        prop_assert!((-90.0..=90.0).contains(&loc.lat));
+        prop_assert_eq!(loc.country, c.code);
+    }
+
+    #[test]
+    fn registry_pick_is_always_in_rir(seed in any::<u64>(), key in any::<u64>(), m in 0i64..360) {
+        let reg = AllocationRegistry::synthesize(seed);
+        for rir in [Rir::Arin, Rir::RipeNcc, Rir::Apnic, Rir::Lacnic, Rir::Afrinic] {
+            let p = reg.pick_prefix(rir, YearMonth::from_months_since_epoch(m), key);
+            prop_assert_eq!(reg.get(p).expect("allocated").rir, rir);
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! Trinocular-style adaptive probing (the substrate of §2.1).
+//!
+//! Reimplements the outage-detection prober of Quan et al., SIGCOMM 2013,
+//! that the paper's estimators consume:
+//!
+//! * per block, a Bayesian belief `B(U)` that the block is up;
+//! * probes drawn by walking the block's ever-active addresses `E(b)` in a
+//!   pseudorandom order (the world model already scatters `E(b)` across the
+//!   /24, so walking slots in sequence realizes the pseudorandom walk);
+//! * likelihoods `P(response⁺ | up) = Â_o` (the conservative operational
+//!   estimate — the reason §2.1 demands `Â_o` not exceed truth) and
+//!   `P(response⁺ | down) = ε` (stray/spoofed responses);
+//! * probing stops at the first conclusive belief (`≥ 0.9` either way), at
+//!   most 15 probes per 11-minute round — which biases observations toward
+//!   positive responses, the bias §2.1.2's separate (p, t) tracking
+//!   corrects;
+//! * beliefs are capped below 1 so the prober can always change its mind.
+
+use crate::record::{BlockRun, RoundRecord};
+use sleepwatch_availability::{AvailabilityEstimator, EwmaConfig};
+use sleepwatch_geoecon::rng::KeyedRng;
+use sleepwatch_simnet::{BlockSpec, ProbeOutcome, ROUND_SECONDS};
+
+/// Reachability verdict for one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// Believed reachable.
+    Up,
+    /// Believed down (an outage if previously up).
+    Down,
+    /// Probing budget exhausted without a conclusive belief.
+    Unknown,
+}
+
+/// Prober configuration; defaults are Trinocular's published parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrinocularConfig {
+    /// Maximum probes per block per round (paper: 15).
+    pub max_probes_per_round: u32,
+    /// Belief threshold to conclude up/down (paper: 0.9).
+    pub belief_threshold: f64,
+    /// Beliefs are clamped to `[1 − cap, cap]` (paper: 0.99).
+    pub belief_cap: f64,
+    /// `P(response⁺ | block down)`: stray responses (small, non-zero).
+    pub p_response_down: f64,
+    /// Estimator gains.
+    pub ewma: EwmaConfig,
+    /// Prober restarts every this many rounds (`None` = never). The paper's
+    /// `A12w` prober restarted every 5.5 hours = 30 rounds, producing the
+    /// 4.3-cycles/day artifact of Fig. 10.
+    pub restart_interval_rounds: Option<u64>,
+    /// On a restart round, probability that a block's observation is lost
+    /// entirely (its probe was in flight during the restart).
+    pub restart_loss_chance: f64,
+    /// On a restart round that is *not* lost, probability that one probe's
+    /// response is dropped while the prober bounces (counted as an extra
+    /// negative). This periodic dip is the source of the 4.3-cycles/day
+    /// line in Fig. 10.
+    pub restart_negative_chance: f64,
+    /// Probability that a genuinely positive response is lost in transit
+    /// (probe or reply dropped on the path). The estimators absorb this as
+    /// a small multiplicative bias on measured availability, exactly as in
+    /// live measurement.
+    pub transit_loss_rate: f64,
+    /// `P(ICMP unreachable | block up)`: stray router errors on a healthy
+    /// path (small).
+    pub p_unreach_up: f64,
+    /// `P(ICMP unreachable | block down)`: a routed outage usually draws
+    /// explicit errors from upstream routers, making one unreachable far
+    /// stronger down-evidence than a timeout.
+    pub p_unreach_down: f64,
+}
+
+impl Default for TrinocularConfig {
+    fn default() -> Self {
+        TrinocularConfig {
+            max_probes_per_round: 15,
+            belief_threshold: 0.9,
+            belief_cap: 0.99,
+            p_response_down: 0.01,
+            ewma: EwmaConfig::default(),
+            restart_interval_rounds: None,
+            restart_loss_chance: 0.25,
+            restart_negative_chance: 0.7,
+            transit_loss_rate: 0.01,
+            p_unreach_up: 0.005,
+            p_unreach_down: 0.5,
+        }
+    }
+}
+
+impl TrinocularConfig {
+    /// The paper's `A12w` configuration: restarts every 5.5 hours.
+    pub fn a12w() -> Self {
+        TrinocularConfig { restart_interval_rounds: Some(30), ..Default::default() }
+    }
+}
+
+/// An outage: consecutive rounds believed down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageEvent {
+    /// First round believed down.
+    pub start_round: u64,
+    /// First round believed up again (exclusive end); `None` while ongoing.
+    pub end_round: Option<u64>,
+}
+
+/// Adaptive prober for one block.
+#[derive(Debug, Clone)]
+pub struct TrinocularProber {
+    cfg: TrinocularConfig,
+    estimator: AvailabilityEstimator,
+    belief_up: f64,
+    state: BlockState,
+    walk: Vec<u8>,
+    cursor: usize,
+    outages: Vec<OutageEvent>,
+    total_probes: u64,
+}
+
+/// Stream tag for the walk shuffle and restart-loss draws.
+const STREAM_WALK: u64 = 0x77_616c6b; // "walk"
+const STREAM_RESTART: u64 = 0x72_7374; // "rst"
+const STREAM_TRANSIT: u64 = 0x74_726e; // "trn"
+
+impl TrinocularProber {
+    /// Creates a prober. The initial availability belief comes from the
+    /// block's (possibly stale) historical estimate, exactly as the real
+    /// system bootstraps from prior censuses.
+    pub fn new(block: &BlockSpec, cfg: TrinocularConfig) -> Self {
+        Self::with_targets(block, block.ever_active_addrs(), block.hist_avail, cfg)
+    }
+
+    /// Creates a prober bootstrapped from a census record — the real
+    /// system's path: the walk covers only addresses the census
+    /// *discovered*, and the initial availability belief is the census's
+    /// historical estimate. Returns `None` when the block fails the
+    /// analyzability policy (fewer than `census_cfg.min_ever_active`
+    /// discovered addresses — §3.2.4's "policy constraint").
+    pub fn from_census(
+        block: &BlockSpec,
+        census: &crate::census::CensusRecord,
+        census_cfg: &crate::census::CensusConfig,
+        cfg: TrinocularConfig,
+    ) -> Option<Self> {
+        if !census.analyzable(census_cfg) {
+            return None;
+        }
+        Some(Self::with_targets(block, census.ever_active.clone(), census.hist_avail, cfg))
+    }
+
+    fn with_targets(
+        block: &BlockSpec,
+        mut walk: Vec<u8>,
+        hist_avail: f64,
+        cfg: TrinocularConfig,
+    ) -> Self {
+        // Pseudorandom walk order, fixed per block per prober instance.
+        let mut rng = KeyedRng::from_parts(&[block.seed, STREAM_WALK, block.id]);
+        for i in (1..walk.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            walk.swap(i, j);
+        }
+        TrinocularProber {
+            cfg,
+            estimator: AvailabilityEstimator::new(hist_avail, cfg.ewma),
+            belief_up: 0.9, // blocks start presumed up, as in Trinocular
+            state: BlockState::Up,
+            walk,
+            cursor: 0,
+            outages: Vec::new(),
+            total_probes: 0,
+        }
+    }
+
+    /// The current belief that the block is up.
+    pub fn belief_up(&self) -> f64 {
+        self.belief_up
+    }
+
+    /// The most recent state verdict.
+    pub fn state(&self) -> BlockState {
+        self.state
+    }
+
+    /// Outages recorded so far.
+    pub fn outages(&self) -> &[OutageEvent] {
+        &self.outages
+    }
+
+    /// Total probes sent.
+    pub fn total_probes(&self) -> u64 {
+        self.total_probes
+    }
+
+    /// Immutable access to the availability estimator.
+    pub fn estimator(&self) -> &AvailabilityEstimator {
+        &self.estimator
+    }
+
+    /// Bayes update of `B(U)` for one probe outcome, using the three-way
+    /// likelihood model: replies favour up, timeouts weakly favour down,
+    /// explicit unreachable errors strongly favour down.
+    fn update_belief(&mut self, outcome: ProbeOutcome) {
+        let a = self.estimator.a_operational();
+        let (uu, ud) = (self.cfg.p_unreach_up, self.cfg.p_unreach_down);
+        let eps = self.cfg.p_response_down;
+        let (l_up, l_down) = match outcome {
+            ProbeOutcome::Reply => (a, eps),
+            ProbeOutcome::Timeout => (((1.0 - a - uu).max(0.001)), ((1.0 - eps - ud).max(0.001))),
+            ProbeOutcome::Unreachable => (uu, ud),
+        };
+        let num = l_up * self.belief_up;
+        let den = num + l_down * (1.0 - self.belief_up);
+        self.belief_up = if den > 0.0 { num / den } else { 0.5 };
+        let cap = self.cfg.belief_cap;
+        self.belief_up = self.belief_up.clamp(1.0 - cap, cap);
+    }
+
+    /// Runs one 11-minute round against `block` at absolute `time`,
+    /// returning the round's record (or `None` when the block has no
+    /// ever-active addresses to probe).
+    pub fn round(&mut self, block: &BlockSpec, round: u64, time: u64) -> Option<RoundRecord> {
+        self.round_inner(block, round, time, false)
+    }
+
+    fn round_inner(
+        &mut self,
+        block: &BlockSpec,
+        round: u64,
+        time: u64,
+        restart_dropped_probe: bool,
+    ) -> Option<RoundRecord> {
+        if self.walk.is_empty() {
+            return None;
+        }
+        let mut positives = 0u32;
+        let mut probes = 0u32;
+        let thr = self.cfg.belief_threshold;
+        if restart_dropped_probe {
+            // The round's opening probe batch was in flight while the
+            // prober bounced: the responses are lost and book as timeouts.
+            for _ in 0..2 {
+                probes += 1;
+                self.total_probes += 1;
+                self.update_belief(ProbeOutcome::Timeout);
+            }
+        }
+        while probes < self.cfg.max_probes_per_round.min(self.walk.len() as u32) {
+            let addr = self.walk[self.cursor];
+            self.cursor = (self.cursor + 1) % self.walk.len();
+            let mut outcome = block.probe_outcome(addr, time);
+            if outcome == ProbeOutcome::Reply && self.cfg.transit_loss_rate > 0.0 {
+                // The reply can die on the path; keyed per (block, addr,
+                // time) so replays stay exact.
+                let lost = sleepwatch_geoecon::rng::chance_at(
+                    self.cfg.transit_loss_rate,
+                    &[block.seed, STREAM_TRANSIT, block.id, addr as u64, time],
+                );
+                if lost {
+                    outcome = ProbeOutcome::Timeout;
+                }
+            }
+            let positive = outcome.is_positive();
+            probes += 1;
+            self.total_probes += 1;
+            self.update_belief(outcome);
+            if positive {
+                // "A few or even one positive response is usually sufficient
+                // to terminate probing" (§2.1.1): a positive is near-decisive
+                // evidence of up (ε ≪ A), so the round ends — the source of
+                // the positive-response sampling bias.
+                positives += 1;
+                break;
+            }
+            // Negatives are weak evidence individually; keep probing until
+            // the belief becomes conclusively down or the budget runs out.
+            if self.belief_up <= 1.0 - thr {
+                break;
+            }
+        }
+
+        let new_state = if self.belief_up >= thr {
+            BlockState::Up
+        } else if self.belief_up <= 1.0 - thr {
+            BlockState::Down
+        } else {
+            BlockState::Unknown
+        };
+
+        // Outage bookkeeping: a new outage opens on entering Down; the
+        // current outage closes on reaching Up again (recovery may pass
+        // through Unknown rounds while belief climbs back).
+        if new_state == BlockState::Down
+            && self.state != BlockState::Down
+            // Down -> Unknown -> Down is one continuing outage, not two:
+            // only open a new event once the previous one has closed.
+            && self.outages.last().is_none_or(|o| o.end_round.is_some())
+        {
+            self.outages.push(OutageEvent { start_round: round, end_round: None });
+        }
+        if new_state == BlockState::Up {
+            if let Some(o) = self.outages.last_mut() {
+                if o.end_round.is_none() {
+                    o.end_round = Some(round);
+                }
+            }
+        }
+        self.state = new_state;
+
+        let est = self.estimator.observe(positives, probes);
+        Some(RoundRecord {
+            round,
+            probes,
+            positives,
+            a_short: est.a_short,
+            a_long: est.a_long,
+            a_operational: est.a_operational,
+            state: new_state,
+        })
+    }
+
+    /// Drives the prober over `rounds` consecutive rounds starting at
+    /// `start_time`, applying the configured restart artifact: on restart
+    /// rounds some blocks lose the round's observation entirely (a gap the
+    /// §2.2 cleaning must extrapolate over).
+    pub fn run(&mut self, block: &BlockSpec, start_time: u64, rounds: u64) -> BlockRun {
+        let mut records = Vec::with_capacity(rounds as usize);
+        for r in 0..rounds {
+            let time = start_time + r * ROUND_SECONDS;
+            let restarting = self
+                .cfg
+                .restart_interval_rounds
+                .is_some_and(|k| r > 0 && r % k == 0);
+            let mut dropped_probe = false;
+            if restarting {
+                // The prober process bounces: belief survives on disk, but
+                // this round's observation may be lost for this block, or a
+                // probe already in flight loses its response.
+                let mut rng = KeyedRng::from_parts(&[block.seed, STREAM_RESTART, block.id, r]);
+                if rng.chance(self.cfg.restart_loss_chance) {
+                    continue; // missing observation for this round
+                }
+                dropped_probe = rng.chance(self.cfg.restart_negative_chance);
+            }
+            if let Some(rec) = self.round_inner(block, r, time, dropped_probe) {
+                records.push(rec);
+            }
+        }
+        BlockRun::new(block.id, rounds, records, self.outages.clone(), self.total_probes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleepwatch_simnet::{BlockProfile, BlockSpec};
+
+    fn block_with_avail(id: u64, n: u16, avail: f64) -> BlockSpec {
+        BlockSpec::bare(id, 1234, BlockProfile::always_on(n, avail))
+    }
+
+    #[test]
+    fn healthy_block_needs_one_probe_per_round() {
+        let b = block_with_avail(1, 100, 1.0);
+        let cfg = TrinocularConfig { transit_loss_rate: 0.0, ..Default::default() };
+        let mut p = TrinocularProber::new(&b, cfg);
+        let mut total = 0;
+        for r in 0..100 {
+            let rec = p.round(&b, r, r * 660).unwrap();
+            total += rec.probes;
+            assert_eq!(rec.state, BlockState::Up);
+        }
+        assert_eq!(total, 100, "one positive probe should settle each round");
+    }
+
+    #[test]
+    fn transit_loss_costs_occasional_extra_probes() {
+        let b = block_with_avail(30, 100, 1.0);
+        let cfg = TrinocularConfig { transit_loss_rate: 0.05, ..Default::default() };
+        let mut p = TrinocularProber::new(&b, cfg);
+        let rounds = 2_000u64;
+        let mut total = 0u64;
+        for r in 0..rounds {
+            total += p.round(&b, r, r * 660).unwrap().probes as u64;
+        }
+        let mean = total as f64 / rounds as f64;
+        // Geometric with p = 0.95: mean 1/0.95 ≈ 1.053 probes/round.
+        assert!(mean > 1.02 && mean < 1.12, "mean probes {mean}");
+    }
+
+    #[test]
+    fn probe_budget_stays_under_paper_bound() {
+        // "<20 probes/hour per /24" holds for typical availability; the
+        // paper's own A≈0.19 example needs ~5 probes/round (≈28/hour).
+        let b = block_with_avail(2, 200, 0.6);
+        let mut p = TrinocularProber::new(&b, TrinocularConfig::default());
+        let rounds = 131 * 7; // a week
+        let mut probes = 0u64;
+        for r in 0..rounds {
+            probes += p.round(&b, r, r * 660).unwrap().probes as u64;
+        }
+        let hours = rounds as f64 * 660.0 / 3_600.0;
+        let per_hour = probes as f64 / hours;
+        assert!(per_hour < 20.0, "probes/hour = {per_hour}");
+    }
+
+    #[test]
+    fn low_availability_block_costs_five_probes_per_round() {
+        // Stop-on-first-positive over A≈0.19 is geometric with mean
+        // (1 − 0.81¹⁵)/0.19 ≈ 5 — the paper reports 5.08 for this block.
+        let b = block_with_avail(20, 245, 0.191);
+        let mut p = TrinocularProber::new(&b, TrinocularConfig::default());
+        let rounds = 1_833u64;
+        let mut probes = 0u64;
+        for r in 0..rounds {
+            probes += p.round(&b, r, r * 660).unwrap().probes as u64;
+        }
+        let mean = probes as f64 / rounds as f64;
+        assert!((mean - 5.0).abs() < 0.6, "mean probes/round = {mean}");
+    }
+
+    #[test]
+    fn outage_detected_and_bounded() {
+        let mut b = block_with_avail(3, 100, 0.9);
+        // Outage rounds 200..230.
+        b.outage = Some((200 * 660, 230 * 660));
+        let mut p = TrinocularProber::new(&b, TrinocularConfig::default());
+        for r in 0..400 {
+            p.round(&b, r, r * 660).unwrap();
+        }
+        let outs = p.outages();
+        assert_eq!(outs.len(), 1, "exactly one outage: {outs:?}");
+        let o = outs[0];
+        assert!(o.start_round >= 200 && o.start_round <= 203, "start {}", o.start_round);
+        let end = o.end_round.expect("recovered");
+        assert!((230..=233).contains(&end), "end {end}");
+    }
+
+    #[test]
+    fn no_false_outages_on_healthy_block() {
+        let b = block_with_avail(4, 150, 0.7);
+        let mut p = TrinocularProber::new(&b, TrinocularConfig::default());
+        for r in 0..131 * 14 {
+            p.round(&b, r, r * 660);
+        }
+        assert!(p.outages().is_empty(), "false outages: {:?}", p.outages());
+    }
+
+    #[test]
+    fn belief_is_capped() {
+        let b = block_with_avail(5, 100, 1.0);
+        let mut p = TrinocularProber::new(&b, TrinocularConfig::default());
+        for r in 0..50 {
+            p.round(&b, r, r * 660);
+        }
+        assert!(p.belief_up() <= 0.99);
+        // And a down block pins at the other cap.
+        let mut dead = block_with_avail(6, 100, 0.9);
+        dead.outage = Some((0, u64::MAX));
+        let mut pd = TrinocularProber::new(&dead, TrinocularConfig::default());
+        for r in 0..50 {
+            pd.round(&dead, r, r * 660);
+        }
+        assert!(pd.belief_up() >= 0.01);
+        assert_eq!(pd.state(), BlockState::Down);
+    }
+
+    #[test]
+    fn empty_block_yields_no_record() {
+        let b = block_with_avail(7, 0, 0.5);
+        let mut p = TrinocularProber::new(&b, TrinocularConfig::default());
+        assert!(p.round(&b, 0, 0).is_none());
+    }
+
+    #[test]
+    fn estimator_converges_through_prober() {
+        let b = block_with_avail(8, 120, 0.4);
+        let mut p = TrinocularProber::new(&b, TrinocularConfig::default());
+        for r in 0..4_000 {
+            p.round(&b, r, r * 660);
+        }
+        let a = p.estimator().a_short();
+        // Per-address jitter shifts the block's true mean slightly off 0.4.
+        let truth = b.true_availability(0);
+        assert!((a - truth).abs() < 0.1, "Âs {a} vs truth {truth}");
+    }
+
+    #[test]
+    fn run_produces_dense_records_without_restarts() {
+        let b = block_with_avail(9, 80, 0.8);
+        let mut p = TrinocularProber::new(&b, TrinocularConfig::default());
+        let run = p.run(&b, 0, 500);
+        assert_eq!(run.records.len(), 500);
+        assert_eq!(run.rounds, 500);
+    }
+
+    #[test]
+    fn restarts_drop_some_rounds() {
+        let b = block_with_avail(10, 80, 0.8);
+        let mut p = TrinocularProber::new(&b, TrinocularConfig::a12w());
+        let rounds = 3_000;
+        let run = p.run(&b, 0, rounds);
+        let missing = rounds as usize - run.records.len();
+        // 99 restart rounds × 50 % loss ≈ 50 missing.
+        let expected = (rounds / 30) as f64 * 0.5;
+        assert!(
+            (missing as f64 - expected).abs() < expected * 0.6,
+            "missing {missing}, expected ≈{expected}"
+        );
+        // Missing rounds are exactly at restart multiples.
+        let kept: std::collections::HashSet<u64> =
+            run.records.iter().map(|r| r.round).collect();
+        for r in 0..rounds {
+            if r % 30 != 0 || r == 0 {
+                assert!(kept.contains(&r), "round {r} unexpectedly missing");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_errors_conclude_outages_quickly() {
+        // During a routed outage most probes return explicit unreachable
+        // errors, so the prober reaches a down verdict within a couple of
+        // probes instead of grinding through 15 timeouts.
+        let mut b = block_with_avail(40, 150, 0.9);
+        b.outage = Some((100 * 660, 200 * 660));
+        let mut p = TrinocularProber::new(&b, TrinocularConfig::default());
+        for r in 0..100 {
+            p.round(&b, r, r * 660);
+        }
+        let rec = p.round(&b, 100, 100 * 660).unwrap();
+        assert!(rec.probes <= 6, "unreachables are decisive, used {}", rec.probes);
+        assert_eq!(p.state(), BlockState::Down);
+        assert_eq!(p.outages().len(), 1);
+    }
+
+    #[test]
+    fn walk_order_varies_by_block() {
+        let b1 = block_with_avail(11, 64, 0.9);
+        let b2 = block_with_avail(12, 64, 0.9);
+        let p1 = TrinocularProber::new(&b1, TrinocularConfig::default());
+        let p2 = TrinocularProber::new(&b2, TrinocularConfig::default());
+        assert_ne!(p1.walk, p2.walk);
+    }
+
+    #[test]
+    fn diurnal_block_not_marked_as_outage_when_stable_core_exists() {
+        // 50 always-on + 100 diurnal: nights look sparser but the block
+        // stays reachable, so no outage should be recorded.
+        let b = BlockSpec::bare(
+            13,
+            77,
+            BlockProfile {
+                n_stable: 50,
+                n_diurnal: 100,
+                stable_avail: 0.95,
+                diurnal_avail: 0.95,
+                onset_hours: 8.0,
+                onset_spread: 1.0,
+                duration_hours: 8.0,
+                duration_spread: 0.0,
+                sigma_start: 0.2,
+                sigma_duration: 0.2,
+                utc_offset_hours: 0.0,
+            },
+        );
+        let mut p = TrinocularProber::new(&b, TrinocularConfig::default());
+        for r in 0..131 * 7 {
+            p.round(&b, r, r * 660);
+        }
+        assert!(p.outages().is_empty(), "diurnal nights misread as outages");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the probing substrate.
+
+use proptest::prelude::*;
+use sleepwatch_probing::{run_census, survey_block, CensusConfig, TrinocularConfig, TrinocularProber};
+use sleepwatch_simnet::{BlockProfile, BlockSpec};
+
+fn arb_block() -> impl Strategy<Value = BlockSpec> {
+    (1u16..=256, 0.05f64..=1.0, 0u64..1_000).prop_map(|(n, avail, seed)| {
+        BlockSpec::bare(seed.wrapping_mul(31), seed, BlockProfile::always_on(n, avail))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rounds_respect_probe_budget(block in arb_block(), rounds in 1u64..200) {
+        let mut p = TrinocularProber::new(&block, TrinocularConfig::default());
+        for r in 0..rounds {
+            if let Some(rec) = p.round(&block, r, r * 660) {
+                prop_assert!(rec.probes >= 1);
+                prop_assert!(rec.probes <= 15);
+                prop_assert!(rec.positives <= rec.probes);
+                prop_assert!((0.0..=1.0).contains(&rec.a_short));
+                prop_assert!((0.0..=1.0).contains(&rec.a_operational));
+            }
+        }
+    }
+
+    #[test]
+    fn run_records_sorted_and_within_bounds(block in arb_block(), rounds in 1u64..300) {
+        let mut p = TrinocularProber::new(&block, TrinocularConfig::a12w());
+        let run = p.run(&block, 0, rounds);
+        prop_assert!(run.records.len() <= rounds as usize);
+        prop_assert!(run.records.windows(2).all(|w| w[0].round < w[1].round));
+        prop_assert!(run.records.iter().all(|r| r.round < rounds));
+        let sum: u64 = run.records.iter().map(|r| r.probes as u64).sum();
+        prop_assert_eq!(sum, run.total_probes);
+    }
+
+    #[test]
+    fn outage_events_are_well_formed(block in arb_block(), rounds in 10u64..300) {
+        let mut p = TrinocularProber::new(&block, TrinocularConfig::default());
+        let run = p.run(&block, 0, rounds);
+        for o in &run.outages {
+            prop_assert!(o.start_round < rounds);
+            if let Some(end) = o.end_round {
+                prop_assert!(end > o.start_round);
+            }
+        }
+        // At most one ongoing outage, and only the last can be open.
+        let open = run.outages.iter().filter(|o| o.end_round.is_none()).count();
+        prop_assert!(open <= 1);
+        if open == 1 {
+            prop_assert!(run.outages.last().unwrap().end_round.is_none());
+        }
+    }
+
+    #[test]
+    fn census_subset_of_ever_active(block in arb_block(), passes in 1u32..20) {
+        let cfg = CensusConfig { passes, ..Default::default() };
+        let c = run_census(&block, 1_000_000, &cfg);
+        let truth: std::collections::HashSet<u8> =
+            block.ever_active_addrs().into_iter().collect();
+        for a in &c.ever_active {
+            prop_assert!(truth.contains(a), "census invented address {a}");
+        }
+        prop_assert!((0.0..=1.0).contains(&c.hist_avail));
+        prop_assert!(c.ever_active.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
+        prop_assert_eq!(c.ever_active.len(), c.response_counts.len());
+    }
+
+    #[test]
+    fn survey_counts_bounded_by_population(block in arb_block(), rounds in 1u64..60) {
+        let s = survey_block(&block, 0, rounds);
+        let e = block.ever_active_count() as u32;
+        prop_assert!(s.responders.iter().all(|&r| r <= e));
+        prop_assert!(s.ever_count() <= e as usize);
+        for a in s.availability_series() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&a));
+        }
+    }
+
+    #[test]
+    fn prober_is_deterministic(block in arb_block()) {
+        let mk = || {
+            let mut p = TrinocularProber::new(&block, TrinocularConfig::a12w());
+            let run = p.run(&block, 0, 120);
+            run.records.iter().map(|r| (r.round, r.probes, r.positives)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(mk(), mk());
+    }
+}

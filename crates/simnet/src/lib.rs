@@ -1,0 +1,48 @@
+//! A deterministic synthetic Internet for diurnal-network research.
+//!
+//! The IMC 2014 paper measures the live IPv4 edge; this crate replaces it
+//! with a reproducible world whose ground truth is known exactly:
+//!
+//! * [`behavior`]: per-address models — always-on, diurnal (onset,
+//!   duration, per-day `σ_s`/`σ_d` noise, §3.2.2), inactive — as pure
+//!   functions of `(seed, block, address, time)`;
+//! * [`block`]: compact /24 specs that derive any address's behaviour in
+//!   O(1), with injected outages and ground-truth availability;
+//! * [`world`]: a calibrated population of blocks across ~55 countries,
+//!   planting the paper's country fractions, phase/longitude structure,
+//!   allocation-age gradient and link-technology correlations;
+//! * [`controlled`]: the §3.2.2 controlled blocks (50 stable + `n_d`
+//!   diurnal addresses) behind Figs. 7–9;
+//! * [`rdns`]: PTR-name synthesis feeding the link-type classifier;
+//! * [`evolution`]: the Fig. 11 long-term propensity curve.
+//!
+//! # Example
+//!
+//! ```
+//! use sleepwatch_simnet::{World, WorldConfig};
+//!
+//! let world = World::generate(WorldConfig { num_blocks: 50, seed: 7, ..Default::default() });
+//! let block = &world.blocks[0];
+//! // Probe address .1 at the first round — deterministic, replayable.
+//! let t = world.round_time(0);
+//! let first = block.probe(1, t);
+//! assert_eq!(first, block.probe(1, t));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod block;
+pub mod campus;
+pub mod controlled;
+pub mod evolution;
+pub mod rdns;
+pub mod world;
+
+pub use behavior::{AddrKey, AddressBehavior};
+pub use block::{is_weekend, BlockProfile, BlockSpec, LeaseParams, LinkClass, ProbeOutcome};
+pub use campus::{generate_campus, CampusConfig, CampusUse};
+pub use controlled::ControlledConfig;
+pub use rdns::{ptr_name, ptr_names};
+pub use world::{World, WorldConfig, A12W_START, ROUND_SECONDS, S51W_START};

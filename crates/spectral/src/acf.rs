@@ -1,0 +1,178 @@
+//! Autocorrelation-based periodicity detection — a time-domain second
+//! opinion on the FFT classifier.
+//!
+//! A diurnal series correlates strongly with itself shifted by one day.
+//! The ACF detector computes the normalized autocorrelation at the one-day
+//! lag and compares it against the strongest correlation at non-daily,
+//! non-harmonic lags — structurally the same dominance idea as §2.2's
+//! strict rule, but in the time domain, where it is naturally robust to
+//! day-to-day amplitude variation. Used as a cross-check and in the
+//! `ablate-acf` comparison.
+
+/// Normalized autocorrelation of `series` at integer `lag` samples
+/// (`r ∈ [−1, 1]`; 0 for degenerate inputs or lags beyond the series).
+pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    let n = series.len();
+    if lag == 0 {
+        return 1.0;
+    }
+    if lag >= n || n < 3 {
+        return 0.0;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|&x| (x - mean) * (x - mean)).sum();
+    if var <= 1e-18 * n as f64 * (mean * mean + 1.0) {
+        return 0.0;
+    }
+    let mut cov = 0.0;
+    for i in 0..n - lag {
+        cov += (series[i] - mean) * (series[i + lag] - mean);
+    }
+    cov / var
+}
+
+/// Result of the ACF daily-periodicity test.
+#[derive(Debug, Clone, Copy)]
+pub struct AcfReport {
+    /// Autocorrelation at the one-day lag.
+    pub r_day: f64,
+    /// Strongest autocorrelation at a competitor lag (non-daily,
+    /// non-harmonic, beyond the smoothing-induced short-lag bulge).
+    pub r_competitor: f64,
+    /// Competitor's lag in samples.
+    pub competitor_lag: usize,
+    /// The verdict: daily correlation dominant and strong.
+    pub diurnal: bool,
+}
+
+/// Configuration of the ACF detector.
+#[derive(Debug, Clone, Copy)]
+pub struct AcfConfig {
+    /// Minimum `r` at the daily lag (default 0.3).
+    pub min_r_day: f64,
+    /// Required dominance of the daily lag over the best competitor
+    /// (default 1.5×).
+    pub dominance: f64,
+    /// Sampling period, seconds (default: one 11-minute round).
+    pub sample_period: f64,
+}
+
+impl Default for AcfConfig {
+    fn default() -> Self {
+        AcfConfig { min_r_day: 0.3, dominance: 1.5, sample_period: crate::ROUND_SECONDS }
+    }
+}
+
+/// Runs the ACF daily test.
+pub fn acf_diurnal(series: &[f64], cfg: &AcfConfig) -> AcfReport {
+    let lag_day = (86_400.0 / cfg.sample_period).round() as usize;
+    let r_day = autocorrelation(series, lag_day);
+
+    // Competitors: lags from a quarter day up to just under a day, plus
+    // the day-and-a-half lag — away from 1d and 2d harmonics and from the
+    // EWMA smoothing bulge at short lags.
+    let mut r_competitor = 0.0;
+    let mut competitor_lag = 0;
+    let candidates = (lag_day / 4..=(lag_day * 7) / 8)
+        .step_by((lag_day / 16).max(1))
+        .chain(std::iter::once((lag_day * 3) / 2));
+    for lag in candidates {
+        let r = autocorrelation(series, lag);
+        if r > r_competitor {
+            r_competitor = r;
+            competitor_lag = lag;
+        }
+    }
+    let diurnal = r_day >= cfg.min_r_day && r_day >= cfg.dominance * r_competitor.max(0.0);
+    AcfReport { r_day, r_competitor, competitor_lag, diurnal }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RPD: f64 = 86_400.0 / 660.0;
+
+    fn daily(days: usize, duty: f64, noise: f64) -> Vec<f64> {
+        let n = (days as f64 * RPD) as usize;
+        (0..n)
+            .map(|i| {
+                let frac = (i as f64 / RPD).fract();
+                let base = if frac < duty { 0.8 } else { 0.2 };
+                base + noise * (((i as f64 * 12.9898).sin() * 43_758.545_3).fract() - 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn acf_lag_zero_is_one() {
+        assert_eq!(autocorrelation(&[1.0, 2.0, 3.0], 0), 1.0);
+    }
+
+    #[test]
+    fn acf_bounds_and_degenerates() {
+        let xs = daily(7, 0.4, 0.1);
+        for lag in [1usize, 10, 131, 500] {
+            let r = autocorrelation(&xs, lag);
+            assert!((-1.0..=1.0).contains(&r), "lag {lag}: {r}");
+        }
+        assert_eq!(autocorrelation(&xs, 10_000), 0.0);
+        assert_eq!(autocorrelation(&[0.5; 100], 10), 0.0);
+        assert_eq!(autocorrelation(&[1.0], 1), 0.0);
+    }
+
+    #[test]
+    fn daily_series_has_high_daylag_correlation() {
+        let xs = daily(14, 0.4, 0.05);
+        let r = autocorrelation(&xs, 131);
+        assert!(r > 0.8, "r(1d) = {r}");
+        // Half-day lag anticorrelates for a 40% duty square wave.
+        let r_half = autocorrelation(&xs, 65);
+        assert!(r_half < 0.2, "r(12h) = {r_half}");
+    }
+
+    #[test]
+    fn detector_accepts_diurnal_rejects_flat_and_noise() {
+        let cfg = AcfConfig::default();
+        assert!(acf_diurnal(&daily(14, 0.4, 0.1), &cfg).diurnal);
+        assert!(!acf_diurnal(&vec![0.6; 1_833], &cfg).diurnal);
+        let noise: Vec<f64> = (0..1_833)
+            .map(|i| ((i as f64 * 78.233).sin() * 43_758.545_3).fract())
+            .collect();
+        assert!(!acf_diurnal(&noise, &cfg).diurnal);
+    }
+
+    #[test]
+    fn detector_rejects_other_periods() {
+        // 9-hour cycle: daily lag shows weak correlation, competitor lags
+        // (e.g. 9h ≈ 49 samples... within the scanned band via 3/4-day
+        // multiples) dominate.
+        let n = (14.0 * RPD) as usize;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 * 660.0 / 3_600.0; // hours
+                0.5 + 0.3 * (2.0 * std::f64::consts::PI * t / 9.0).sin()
+            })
+            .collect();
+        let rep = acf_diurnal(&xs, &AcfConfig::default());
+        assert!(!rep.diurnal, "9h cycle misread as daily: {rep:?}");
+    }
+
+    #[test]
+    fn acf_robust_to_amplitude_variation() {
+        // Days alternate strong/weak amplitude: frequency-domain energy
+        // spreads, but the day-lag correlation stays high.
+        let n = (14.0 * RPD) as usize;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| {
+                let day = (i as f64 / RPD) as usize;
+                let amp = if day.is_multiple_of(2) { 0.35 } else { 0.15 };
+                let frac = (i as f64 / RPD).fract();
+                0.5 + if frac < 0.4 { amp } else { -amp }
+            })
+            .collect();
+        let rep = acf_diurnal(&xs, &AcfConfig::default());
+        assert!(rep.r_day > 0.5, "r_day {}", rep.r_day);
+        assert!(rep.diurnal);
+    }
+}

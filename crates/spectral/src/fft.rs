@@ -1,0 +1,346 @@
+//! Discrete Fourier transforms.
+//!
+//! The paper (§2.2) computes, for a timeseries `a_m` of `n` samples,
+//!
+//! ```text
+//! α_k = Σ_{m=0}^{n-1} a_m · e^{-2πi·m·k/n}
+//! ```
+//!
+//! Availability timeseries have awkward lengths — 11-minute rounds give
+//! 1833 samples for a two-week survey and 4582 for a 35-day adaptive run —
+//! so a radix-2 transform alone is not enough. This module provides:
+//!
+//! * [`fft`] / [`ifft`]: arbitrary-length transforms. Powers of two run the
+//!   iterative radix-2 Cooley–Tukey kernel directly; other lengths go through
+//!   Bluestein's chirp-z algorithm (three power-of-two FFTs).
+//! * [`fft_real`]: convenience wrapper for real-valued input.
+//! * [`dft_naive`]: the O(n²) definition, kept as an oracle for tests.
+
+use crate::complex::Complex;
+use std::f64::consts::PI;
+
+/// Returns `true` when `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Smallest power of two `>= n`.
+#[inline]
+pub fn next_power_of_two(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `invert` selects the inverse transform (conjugated twiddles); the caller
+/// is responsible for the 1/n normalization of the inverse.
+///
+/// # Panics
+/// Panics if `buf.len()` is not a power of two.
+fn fft_radix2_in_place(buf: &mut [Complex], invert: bool) {
+    let n = buf.len();
+    assert!(is_power_of_two(n), "radix-2 FFT requires power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let sign = if invert { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let half = len / 2;
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..half {
+                let u = buf[i + k];
+                let v = buf[i + k + half] * w;
+                buf[i + k] = u + v;
+                buf[i + k + half] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein's algorithm: expresses an arbitrary-length DFT as a convolution,
+/// evaluated with power-of-two FFTs.
+///
+/// For the transform `α_k = Σ a_m e^{-2πi m k / n}` we use the identity
+/// `m·k = (m² + k² − (k−m)²) / 2`, giving
+/// `α_k = w_k* · Σ (a_m w_m*) · w_{k−m}` with chirp `w_j = e^{πi j²/n}`.
+fn fft_bluestein(input: &[Complex], invert: bool) -> Vec<Complex> {
+    let n = input.len();
+    let m = next_power_of_two(2 * n - 1);
+    let sign = if invert { 1.0 } else { -1.0 };
+
+    // Chirp w_j = e^{sign·πi·j²/n}, computed with j² reduced mod 2n to keep
+    // the angle argument small (j² overflows and loses precision for large j).
+    let chirp: Vec<Complex> = (0..n)
+        .map(|j| {
+            let jsq = (j as u64 * j as u64) % (2 * n as u64);
+            Complex::cis(sign * PI * jsq as f64 / n as f64)
+        })
+        .collect();
+
+    // With chirp c_j = e^{sign·πi·j²/n}:
+    //   α_k = c_k · Σ_m (a_m · c_m) · conj(c_{k−m})
+    let mut a = vec![Complex::ZERO; m];
+    for (j, &x) in input.iter().enumerate() {
+        a[j] = x * chirp[j];
+    }
+
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for j in 1..n {
+        b[j] = chirp[j].conj();
+        b[m - j] = chirp[j].conj();
+    }
+
+    fft_radix2_in_place(&mut a, false);
+    fft_radix2_in_place(&mut b, false);
+    for j in 0..m {
+        a[j] *= b[j];
+    }
+    fft_radix2_in_place(&mut a, true);
+    let scale = 1.0 / m as f64;
+
+    (0..n).map(|k| a[k].scale(scale) * chirp[k]).collect()
+}
+
+/// Forward DFT of arbitrary length (unnormalized, matching the paper's
+/// definition of `α_k`).
+///
+/// Returns an empty vector for empty input.
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    match input.len() {
+        0 => Vec::new(),
+        n if is_power_of_two(n) => {
+            let mut buf = input.to_vec();
+            fft_radix2_in_place(&mut buf, false);
+            buf
+        }
+        _ => fft_bluestein(input, false),
+    }
+}
+
+/// Inverse DFT of arbitrary length, normalized by `1/n`, so that
+/// `ifft(&fft(x)) == x` up to rounding.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = if is_power_of_two(n) {
+        let mut buf = input.to_vec();
+        fft_radix2_in_place(&mut buf, true);
+        buf
+    } else {
+        fft_bluestein(input, true)
+    };
+    let scale = 1.0 / n as f64;
+    for z in &mut out {
+        *z = z.scale(scale);
+    }
+    out
+}
+
+/// Forward DFT of a real-valued series.
+pub fn fft_real(input: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = input.iter().map(|&x| Complex::from_re(x)).collect();
+    fft(&buf)
+}
+
+/// The O(n²) DFT straight from the definition. Used as the correctness
+/// oracle in tests and for tiny inputs where setup cost dominates.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (m, &x) in input.iter().enumerate() {
+            let ang = -2.0 * PI * (m as f64) * (k as f64) / n as f64;
+            acc += x * Complex::cis(ang);
+        }
+        *slot = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    fn assert_spectra_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert!(approx(x, y, tol), "bin {i}: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(fft(&[]).is_empty());
+        assert!(ifft(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_sample_is_identity() {
+        let x = [Complex::new(3.0, -1.0)];
+        assert_eq!(fft(&x), x.to_vec());
+        let inv = ifft(&x);
+        assert!(approx(inv[0], x[0], 1e-12));
+    }
+
+    #[test]
+    fn dc_component_is_sum() {
+        let x: Vec<Complex> = (0..8).map(|i| Complex::from_re(i as f64)).collect();
+        let spec = fft(&x);
+        assert!(approx(spec[0], Complex::from_re(28.0), 1e-9));
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        for z in fft(&x) {
+            assert!(approx(z, Complex::ONE, 1e-10));
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<Complex> = (0..n)
+            .map(|m| Complex::from_re((2.0 * PI * k0 as f64 * m as f64 / n as f64).cos()))
+            .collect();
+        let spec = fft(&x);
+        // Real cosine splits evenly between bins k0 and n-k0, amplitude n/2.
+        assert!((spec[k0].abs() - n as f64 / 2.0).abs() < 1e-8);
+        assert!((spec[n - k0].abs() - n as f64 / 2.0).abs() < 1e-8);
+        for (k, z) in spec.iter().enumerate() {
+            if k != k0 && k != n - k0 {
+                assert!(z.abs() < 1e-7, "leakage at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_power_of_two() {
+        let x: Vec<Complex> =
+            (0..32).map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos())).collect();
+        assert_spectra_close(&fft(&x), &dft_naive(&x), 1e-8);
+    }
+
+    #[test]
+    fn matches_naive_dft_arbitrary_lengths() {
+        for n in [2usize, 3, 5, 7, 12, 30, 33, 100, 131, 257] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.31).sin(), (i as f64).sqrt().fract()))
+                .collect();
+            assert_spectra_close(&fft(&x), &dft_naive(&x), 1e-7 * n as f64);
+        }
+    }
+
+    #[test]
+    fn survey_length_1833_matches_naive() {
+        // The two-week 11-minute-round length used throughout the paper.
+        let n = 1833;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_re((2.0 * PI * 14.0 * i as f64 / n as f64).sin() + 0.5))
+            .collect();
+        let fast = fft(&x);
+        let slow = dft_naive(&x);
+        // Naive DFT accumulates more rounding than Bluestein here; compare
+        // loosely relative to total energy.
+        let scale = x.len() as f64;
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).abs() < 1e-6 * scale);
+        }
+    }
+
+    #[test]
+    fn roundtrip_power_of_two() {
+        let x: Vec<Complex> =
+            (0..128).map(|i| Complex::new((i % 7) as f64, -((i % 5) as f64))).collect();
+        let back = ifft(&fft(&x));
+        assert_spectra_close(&x, &back, 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_length() {
+        for n in [3usize, 10, 97, 131, 1833] {
+            let x: Vec<Complex> =
+                (0..n).map(|i| Complex::new((i as f64 * 0.11).cos(), (i as f64 * 0.07).sin())).collect();
+            let back = ifft(&fft(&x));
+            assert_spectra_close(&x, &back, 1e-8);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 48;
+        let a: Vec<Complex> = (0..n).map(|i| Complex::from_re((i as f64).sin())).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::from_re((i as f64 * 0.5).cos())).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y.scale(2.0)).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fsum = fft(&sum);
+        for k in 0..n {
+            assert!(approx(fsum[k], fa[k] + fb[k].scale(2.0), 1e-8));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 250; // non-power-of-two: exercises Bluestein
+        let x: Vec<Complex> = (0..n).map(|i| Complex::from_re(((i * i) % 17) as f64 / 17.0)).collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = fft(&x).iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn real_input_has_conjugate_symmetry() {
+        let n = 60;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).sin() + 0.3).collect();
+        let spec = fft_real(&x);
+        for k in 1..n {
+            assert!(approx(spec[k], spec[n - k].conj(), 1e-8));
+        }
+    }
+
+    #[test]
+    fn power_of_two_helpers() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(12));
+        assert_eq!(next_power_of_two(5), 8);
+        assert_eq!(next_power_of_two(8), 8);
+    }
+}

@@ -1,0 +1,227 @@
+//! Lomb–Scargle periodogram: spectral analysis of *unevenly* sampled data.
+//!
+//! The paper makes its series even before the FFT — extrapolating missing
+//! rounds and deduplicating (§2.2) — because "spectral analysis typically
+//! requires an evenly sampled timeseries". Lomb–Scargle is the standard
+//! alternative that needs no such repair: it least-squares-fits sinusoids
+//! at each trial frequency directly to the observed `(t, x)` pairs, so
+//! prober restarts and missing rounds simply contribute nothing.
+//!
+//! Included for the `ablate-gaps` comparison (clean+FFT vs Lomb–Scargle on
+//! gappy data) and as a library feature for users whose collection is less
+//! regular than Trinocular's.
+
+use std::f64::consts::PI;
+
+/// The normalized Lomb–Scargle power at one angular frequency `ω` for
+/// samples `(t_i, x_i)` with mean `mean` and variance `var`:
+///
+/// ```text
+/// P(ω) = 1/(2σ²) · [ (Σ (x−x̄)cos ω(t−τ))² / Σ cos² ω(t−τ)
+///                  + (Σ (x−x̄)sin ω(t−τ))² / Σ sin² ω(t−τ) ]
+/// ```
+///
+/// with the classic phase shift `τ` that makes the basis orthogonal.
+fn power_at(times: &[f64], values: &[f64], mean: f64, var: f64, omega: f64) -> f64 {
+    // τ from tan(2ωτ) = Σ sin 2ωt / Σ cos 2ωt.
+    let (mut s2, mut c2) = (0.0, 0.0);
+    for &t in times {
+        let (s, c) = (2.0 * omega * t).sin_cos();
+        s2 += s;
+        c2 += c;
+    }
+    let tau = s2.atan2(c2) / (2.0 * omega);
+
+    let (mut cs, mut cc, mut ss, mut sn) = (0.0, 0.0, 0.0, 0.0);
+    for (&t, &x) in times.iter().zip(values) {
+        let (s, c) = (omega * (t - tau)).sin_cos();
+        let d = x - mean;
+        cs += d * c;
+        sn += d * s;
+        cc += c * c;
+        ss += s * s;
+    }
+    if var <= 0.0 || cc <= 0.0 || ss <= 0.0 {
+        return 0.0;
+    }
+    (cs * cs / cc + sn * sn / ss) / (2.0 * var)
+}
+
+/// A computed Lomb–Scargle periodogram.
+#[derive(Debug, Clone)]
+pub struct LombScargle {
+    /// Trial frequencies, cycles per day.
+    pub freqs_cpd: Vec<f64>,
+    /// Normalized power at each trial frequency.
+    pub power: Vec<f64>,
+}
+
+impl LombScargle {
+    /// Computes the periodogram of irregular samples `(time_seconds,
+    /// value)` over trial frequencies from `min_cpd` to `max_cpd` in
+    /// `n_freqs` steps.
+    ///
+    /// Returns an empty periodogram for fewer than 3 samples or a
+    /// zero-variance series.
+    pub fn compute(
+        samples: &[(f64, f64)],
+        min_cpd: f64,
+        max_cpd: f64,
+        n_freqs: usize,
+    ) -> LombScargle {
+        assert!(min_cpd > 0.0 && max_cpd > min_cpd && n_freqs >= 2, "bad frequency grid");
+        if samples.len() < 3 {
+            return LombScargle { freqs_cpd: Vec::new(), power: Vec::new() };
+        }
+        let times: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        let values: Vec<f64> = samples.iter().map(|s| s.1).collect();
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        // Constant series carry only rounding dust; call them powerless.
+        if var <= 1e-18 * (mean * mean + 1.0) {
+            return LombScargle { freqs_cpd: Vec::new(), power: Vec::new() };
+        }
+
+        let mut freqs_cpd = Vec::with_capacity(n_freqs);
+        let mut power = Vec::with_capacity(n_freqs);
+        for i in 0..n_freqs {
+            let cpd = min_cpd + (max_cpd - min_cpd) * i as f64 / (n_freqs - 1) as f64;
+            let omega = 2.0 * PI * cpd / 86_400.0;
+            freqs_cpd.push(cpd);
+            power.push(power_at(&times, &values, mean, var, omega));
+        }
+        LombScargle { freqs_cpd, power }
+    }
+
+    /// The frequency (cycles/day) with maximal power, if any.
+    pub fn peak_cpd(&self) -> Option<f64> {
+        let (i, _) = self
+            .power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+        Some(self.freqs_cpd[i])
+    }
+
+    /// Power at the trial frequency nearest `cpd` (0 for an empty
+    /// periodogram).
+    pub fn power_near(&self, cpd: f64) -> f64 {
+        self.freqs_cpd
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 - cpd)
+                    .abs()
+                    .partial_cmp(&(b.1 - cpd).abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| self.power[i])
+            .unwrap_or(0.0)
+    }
+
+    /// A simple diurnal test in the spirit of §2.2's strict rule: the peak
+    /// lies within `tol_cpd` of one cycle/day and carries at least `ratio`
+    /// times the median power.
+    pub fn is_diurnal(&self, tol_cpd: f64, ratio: f64) -> bool {
+        let Some(peak) = self.peak_cpd() else { return false };
+        if (peak - 1.0).abs() > tol_cpd {
+            return false;
+        }
+        let mut sorted = self.power.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = sorted[sorted.len() / 2];
+        self.power_near(1.0) >= ratio * median.max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regular daily samples with a fraction dropped (keyed, reproducible).
+    fn gappy_daily(days: usize, drop_every: usize) -> Vec<(f64, f64)> {
+        let rounds = days * 131;
+        (0..rounds)
+            .filter(|r| drop_every == 0 || r % drop_every != 3)
+            .map(|r| {
+                let t = r as f64 * 660.0;
+                let day_frac = (t / 86_400.0).fract();
+                let v = if day_frac < 0.4 { 0.8 } else { 0.2 };
+                (t, v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_daily_peak_on_clean_data() {
+        let ls = LombScargle::compute(&gappy_daily(14, 0), 0.2, 6.0, 300);
+        let peak = ls.peak_cpd().unwrap();
+        assert!((peak - 1.0).abs() < 0.05, "peak at {peak} cpd");
+        assert!(ls.is_diurnal(0.1, 5.0));
+    }
+
+    #[test]
+    fn tolerates_heavy_gaps() {
+        // Drop a quarter of the samples: no cleaning, straight in.
+        let ls = LombScargle::compute(&gappy_daily(14, 4), 0.2, 6.0, 300);
+        let peak = ls.peak_cpd().unwrap();
+        assert!((peak - 1.0).abs() < 0.05, "peak at {peak} cpd with 25% missing");
+    }
+
+    #[test]
+    fn finds_non_daily_periods() {
+        // 8-hour cycle → 3 cycles/day.
+        let samples: Vec<(f64, f64)> = (0..14 * 131)
+            .map(|r| {
+                let t = r as f64 * 660.0;
+                (t, (2.0 * PI * 3.0 * t / 86_400.0).sin())
+            })
+            .collect();
+        let ls = LombScargle::compute(&samples, 0.2, 6.0, 400);
+        let peak = ls.peak_cpd().unwrap();
+        assert!((peak - 3.0).abs() < 0.05, "peak at {peak} cpd");
+        assert!(!ls.is_diurnal(0.1, 5.0));
+    }
+
+    #[test]
+    fn flat_series_has_no_peak() {
+        let samples: Vec<(f64, f64)> = (0..500).map(|r| (r as f64 * 660.0, 0.6)).collect();
+        let ls = LombScargle::compute(&samples, 0.2, 6.0, 100);
+        assert!(ls.peak_cpd().is_none());
+        assert!(!ls.is_diurnal(0.1, 2.0));
+    }
+
+    #[test]
+    fn noise_is_not_diurnal() {
+        let samples: Vec<(f64, f64)> = (0..14 * 131)
+            .map(|r| {
+                let t = r as f64 * 660.0;
+                let v = ((r as f64 * 78.233).sin() * 43_758.545_3).fract();
+                (t, v)
+            })
+            .collect();
+        let ls = LombScargle::compute(&samples, 0.2, 6.0, 300);
+        assert!(!ls.is_diurnal(0.05, 20.0));
+    }
+
+    #[test]
+    fn tiny_input_is_empty() {
+        let ls = LombScargle::compute(&[(0.0, 1.0), (660.0, 0.5)], 0.2, 6.0, 50);
+        assert!(ls.freqs_cpd.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad frequency grid")]
+    fn rejects_bad_grid() {
+        let _ = LombScargle::compute(&[(0.0, 1.0)], 2.0, 1.0, 50);
+    }
+
+    #[test]
+    fn power_near_picks_closest_bin() {
+        let ls = LombScargle::compute(&gappy_daily(7, 0), 0.5, 2.0, 4);
+        // Grid = 0.5, 1.0, 1.5, 2.0; querying 1.1 must read the 1.0 bin.
+        let direct = ls.power[1];
+        assert_eq!(ls.power_near(1.1), direct);
+    }
+}

@@ -1,0 +1,217 @@
+//! Amplitude spectra of availability timeseries.
+//!
+//! Wraps the raw DFT output with the bookkeeping the paper's diurnal
+//! analysis needs: mapping bins to physical frequency (the sampling period is
+//! one probing round, 660 s), finding the strongest non-DC component, and
+//! restricting attention to the first half of the spectrum (the input is
+//! real, so the upper half is redundant).
+
+use crate::complex::Complex;
+use crate::fft::fft_real;
+
+/// Default sampling period: one Trinocular round of 11 minutes (§2.2).
+pub const ROUND_SECONDS: f64 = 660.0;
+
+/// Seconds per day, used to express bins in cycles/day.
+pub const DAY_SECONDS: f64 = 86_400.0;
+
+/// The amplitude spectrum of a real-valued, evenly sampled timeseries.
+#[derive(Debug, Clone)]
+pub struct Spectrum {
+    /// Complex DFT coefficients `α_0 .. α_{n-1}` (full, unnormalized).
+    coeffs: Vec<Complex>,
+    /// Sampling period in seconds.
+    sample_period: f64,
+}
+
+impl Spectrum {
+    /// Computes the spectrum of `series` sampled every `sample_period`
+    /// seconds.
+    ///
+    /// # Panics
+    /// Panics if `sample_period` is not strictly positive.
+    pub fn compute(series: &[f64], sample_period: f64) -> Self {
+        assert!(sample_period > 0.0, "sample period must be positive");
+        Spectrum { coeffs: fft_real(series), sample_period }
+    }
+
+    /// Computes the spectrum assuming the paper's 11-minute rounds.
+    pub fn compute_rounds(series: &[f64]) -> Self {
+        Self::compute(series, ROUND_SECONDS)
+    }
+
+    /// Number of input samples `n`.
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// `true` when the input series was empty.
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Sampling period in seconds.
+    pub fn sample_period(&self) -> f64 {
+        self.sample_period
+    }
+
+    /// Total observation span in days.
+    pub fn span_days(&self) -> f64 {
+        self.len() as f64 * self.sample_period / DAY_SECONDS
+    }
+
+    /// The raw complex coefficient at bin `k`.
+    pub fn coeff(&self, k: usize) -> Complex {
+        self.coeffs[k]
+    }
+
+    /// Amplitude `|α_k|` at bin `k`.
+    pub fn amplitude(&self, k: usize) -> f64 {
+        self.coeffs[k].abs()
+    }
+
+    /// Phase `arg(α_k)` at bin `k`, in `(-π, π]`.
+    pub fn phase(&self, k: usize) -> f64 {
+        self.coeffs[k].arg()
+    }
+
+    /// Frequency of bin `k` in hertz: `k / (R·n)` (§2.2).
+    pub fn freq_hz(&self, k: usize) -> f64 {
+        k as f64 / (self.sample_period * self.len() as f64)
+    }
+
+    /// Frequency of bin `k` in cycles per day.
+    pub fn cycles_per_day(&self, k: usize) -> f64 {
+        self.freq_hz(k) * DAY_SECONDS
+    }
+
+    /// Index of the last non-redundant bin for real input (`n/2`).
+    pub fn nyquist_bin(&self) -> usize {
+        self.len() / 2
+    }
+
+    /// Amplitudes of bins `1..=n/2` (DC excluded), as `(bin, amplitude)`.
+    pub fn half_amplitudes(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        (1..=self.nyquist_bin()).map(move |k| (k, self.amplitude(k)))
+    }
+
+    /// The bin in `1..=n/2` with the largest amplitude, or `None` for series
+    /// shorter than 2 samples.
+    pub fn strongest_bin(&self) -> Option<usize> {
+        (1..=self.nyquist_bin()).max_by(|&a, &b| {
+            self.amplitude(a)
+                .partial_cmp(&self.amplitude(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// The bin whose frequency is nearest to one cycle per day. For a series
+    /// spanning `N_d` whole days this is `N_d`.
+    pub fn diurnal_bin(&self) -> usize {
+        let exact = self.len() as f64 * self.sample_period / DAY_SECONDS;
+        exact.round().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    /// A clean sinusoid with `cycles` full periods across `n` samples.
+    fn tone(n: usize, cycles: f64, amp: f64, offset: f64) -> Vec<f64> {
+        (0..n).map(|i| offset + amp * (2.0 * PI * cycles * i as f64 / n as f64).sin()).collect()
+    }
+
+    #[test]
+    fn frequencies_follow_paper_formula() {
+        // 14 days of 11-minute rounds, trimmed to whole days: n = 1833.
+        let n = 1833;
+        let s = Spectrum::compute_rounds(&vec![0.0; n]);
+        // k = N_d should be ~1 cycle/day.
+        let k = s.diurnal_bin();
+        assert_eq!(k, 14);
+        let cpd = s.cycles_per_day(k);
+        assert!((cpd - 1.0).abs() < 0.01, "got {cpd} cycles/day");
+        assert!((s.freq_hz(k) - 14.0 / (660.0 * 1833.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn span_days_of_35_day_run() {
+        let n = (35.0 * DAY_SECONDS / ROUND_SECONDS).round() as usize; // 4582
+        let s = Spectrum::compute_rounds(&vec![0.5; n]);
+        assert!((s.span_days() - 35.0).abs() < 0.01);
+        assert_eq!(s.diurnal_bin(), 35);
+    }
+
+    #[test]
+    fn strongest_bin_finds_planted_tone() {
+        let n = 1833;
+        let series = tone(n, 14.0, 0.3, 0.5);
+        let s = Spectrum::compute_rounds(&series);
+        assert_eq!(s.strongest_bin(), Some(14));
+    }
+
+    #[test]
+    fn dc_is_excluded_from_strongest() {
+        // Large offset, small tone: bin 0 dominates in raw amplitude but must
+        // not be reported.
+        let n = 512;
+        let series = tone(n, 10.0, 0.01, 100.0);
+        let s = Spectrum::compute(&series, 1.0);
+        assert_eq!(s.strongest_bin(), Some(10));
+    }
+
+    #[test]
+    fn strongest_bin_none_for_tiny_series() {
+        let s = Spectrum::compute(&[1.0], 1.0);
+        assert_eq!(s.strongest_bin(), None);
+        assert!(!s.is_empty());
+        let e = Spectrum::compute(&[], 1.0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn amplitude_of_planted_tone() {
+        let n = 1024;
+        let amp = 0.4;
+        let series = tone(n, 16.0, amp, 0.0);
+        let s = Spectrum::compute(&series, 1.0);
+        // A real sinusoid of amplitude A contributes n·A/2 to its bin.
+        assert!((s.amplitude(16) - n as f64 * amp / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phase_of_planted_cosine() {
+        let n = 1024;
+        let series: Vec<f64> =
+            (0..n).map(|i| (2.0 * PI * 8.0 * i as f64 / n as f64).cos()).collect();
+        let s = Spectrum::compute(&series, 1.0);
+        // cos has zero phase in this DFT convention.
+        assert!(s.phase(8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_shift_moves_linearly() {
+        let n = 1024;
+        let shift = PI / 3.0;
+        let series: Vec<f64> =
+            (0..n).map(|i| (2.0 * PI * 8.0 * i as f64 / n as f64 - shift).cos()).collect();
+        let s = Spectrum::compute(&series, 1.0);
+        assert!((s.phase(8) + shift).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_amplitudes_covers_expected_range() {
+        let s = Spectrum::compute(&vec![0.25; 100], 1.0);
+        let bins: Vec<usize> = s.half_amplitudes().map(|(k, _)| k).collect();
+        assert_eq!(bins.first(), Some(&1));
+        assert_eq!(bins.last(), Some(&50));
+    }
+
+    #[test]
+    #[should_panic(expected = "sample period")]
+    fn rejects_nonpositive_period() {
+        let _ = Spectrum::compute(&[1.0, 2.0], 0.0);
+    }
+}

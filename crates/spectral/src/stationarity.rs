@@ -1,0 +1,166 @@
+//! Stationarity screening for availability timeseries (§2.2, "Data
+//! appropriateness").
+//!
+//! FFT over non-stationary data distorts the analysis of periodic behaviour.
+//! The paper verifies stationarity with a linear fit of `A` over the
+//! observation, calling a block stationary when the slope is equivalent to
+//! less than one address change per day (out of the 256 addresses of a /24).
+
+use crate::periodogram::{DAY_SECONDS, ROUND_SECONDS};
+
+/// Result of the linear-trend test on one availability series.
+#[derive(Debug, Clone, Copy)]
+pub struct TrendReport {
+    /// OLS slope in availability units per sample.
+    pub slope_per_sample: f64,
+    /// OLS intercept (availability at sample 0).
+    pub intercept: f64,
+    /// Slope converted to *addresses per day* assuming a /24
+    /// (`slope · samples_per_day · 256`).
+    pub addresses_per_day: f64,
+    /// `|addresses_per_day| < threshold` (paper threshold: 1.0).
+    pub stationary: bool,
+}
+
+/// Configuration for the stationarity test.
+#[derive(Debug, Clone, Copy)]
+pub struct TrendConfig {
+    /// Sampling period in seconds (default: one 11-minute round).
+    pub sample_period: f64,
+    /// Number of addresses a slope unit corresponds to (default: 256).
+    pub block_size: f64,
+    /// Maximum absolute drift, in addresses/day, that still counts as
+    /// stationary (default: 1.0).
+    pub max_addresses_per_day: f64,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        TrendConfig {
+            sample_period: ROUND_SECONDS,
+            block_size: 256.0,
+            max_addresses_per_day: 1.0,
+        }
+    }
+}
+
+/// Ordinary least-squares fit of `series[i] ~ intercept + slope·i`.
+///
+/// Returns `(slope, intercept)`. Series with fewer than two points get a
+/// zero slope and the single value (or 0) as intercept.
+pub fn linear_fit(series: &[f64]) -> (f64, f64) {
+    let n = series.len();
+    if n < 2 {
+        return (0.0, series.first().copied().unwrap_or(0.0));
+    }
+    let nf = n as f64;
+    let mean_x = (nf - 1.0) / 2.0;
+    let mean_y = series.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (i, &y) in series.iter().enumerate() {
+        let dx = i as f64 - mean_x;
+        sxy += dx * (y - mean_y);
+        sxx += dx * dx;
+    }
+    let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    (slope, mean_y - slope * mean_x)
+}
+
+/// Runs the paper's stationarity screen on an availability series.
+pub fn trend(series: &[f64], cfg: &TrendConfig) -> TrendReport {
+    let (slope, intercept) = linear_fit(series);
+    let samples_per_day = DAY_SECONDS / cfg.sample_period;
+    let addresses_per_day = slope * samples_per_day * cfg.block_size;
+    TrendReport {
+        slope_per_sample: slope,
+        intercept,
+        addresses_per_day,
+        stationary: addresses_per_day.abs() < cfg.max_addresses_per_day,
+    }
+}
+
+/// [`trend`] with default (paper) configuration.
+pub fn trend_default(series: &[f64]) -> TrendReport {
+    trend(series, &TrendConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RPD: f64 = DAY_SECONDS / ROUND_SECONDS; // ~130.9 samples/day
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let series: Vec<f64> = (0..100).map(|i| 0.3 + 0.001 * i as f64).collect();
+        let (slope, intercept) = linear_fit(&series);
+        assert!((slope - 0.001).abs() < 1e-12);
+        assert!((intercept - 0.3).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fit_of_constant_is_flat() {
+        let (slope, intercept) = linear_fit(&[0.42; 50]);
+        assert_eq!(slope, 0.0);
+        assert!((intercept - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_handles_degenerate_inputs() {
+        assert_eq!(linear_fit(&[]), (0.0, 0.0));
+        assert_eq!(linear_fit(&[0.7]), (0.0, 0.7));
+    }
+
+    #[test]
+    fn flat_block_is_stationary() {
+        let n = (14.0 * RPD) as usize;
+        let r = trend_default(&vec![0.6; n]);
+        assert!(r.stationary);
+        assert!(r.addresses_per_day.abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_but_balanced_block_is_stationary() {
+        // A daily oscillation with no net drift must pass.
+        let n = (14.0 * RPD) as usize;
+        let series: Vec<f64> = (0..n)
+            .map(|i| 0.5 + 0.3 * (2.0 * std::f64::consts::PI * i as f64 / RPD).sin())
+            .collect();
+        let r = trend_default(&series);
+        assert!(r.stationary, "addresses/day = {}", r.addresses_per_day);
+    }
+
+    #[test]
+    fn drifting_block_fails() {
+        // Gain of 5 addresses/day on a /24: slope = 5/256 per day.
+        let n = (14.0 * RPD) as usize;
+        let per_sample = 5.0 / 256.0 / RPD;
+        let series: Vec<f64> = (0..n).map(|i| 0.2 + per_sample * i as f64).collect();
+        let r = trend_default(&series);
+        assert!(!r.stationary);
+        assert!((r.addresses_per_day - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn threshold_boundary() {
+        // Exactly 0.5 addr/day passes; 2.0 addr/day fails.
+        let n = (14.0 * RPD) as usize;
+        let mk = |apd: f64| -> Vec<f64> {
+            let per_sample = apd / 256.0 / RPD;
+            (0..n).map(|i| 0.4 + per_sample * i as f64).collect()
+        };
+        assert!(trend_default(&mk(0.5)).stationary);
+        assert!(!trend_default(&mk(2.0)).stationary);
+    }
+
+    #[test]
+    fn custom_config_changes_units() {
+        let cfg = TrendConfig { sample_period: 3600.0, block_size: 100.0, max_addresses_per_day: 10.0 };
+        // slope 0.01/sample, 24 samples/day, 100 addrs → 24 addrs/day: fails.
+        let series: Vec<f64> = (0..200).map(|i| 0.01 * i as f64).collect();
+        let r = trend(&series, &cfg);
+        assert!((r.addresses_per_day - 24.0).abs() < 1e-9);
+        assert!(!r.stationary);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the spectral crate: FFT algebraic identities
+//! over arbitrary inputs and classifier invariants.
+
+use proptest::prelude::*;
+use sleepwatch_spectral::{
+    autocorrelation, classify, dft_naive, fft, fft_real, goertzel, ifft, Complex, DiurnalConfig,
+    LombScargle, Spectrum,
+};
+
+fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec(
+        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Complex::new(re, im)),
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_roundtrips_any_length(xs in complex_vec(300)) {
+        let back = ifft(&fft(&xs));
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-6, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(xs in complex_vec(96)) {
+        let fast = fft(&xs);
+        let slow = dft_naive(&xs);
+        let scale = xs.iter().map(|z| z.abs()).fold(1.0, f64::max) * xs.len() as f64;
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 1e-9 * scale, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn parseval_holds(xs in complex_vec(200)) {
+        let n = xs.len() as f64;
+        let time: f64 = xs.iter().map(|z| z.norm_sqr()).sum();
+        let freq: f64 = fft(&xs).iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((time - freq).abs() <= 1e-7 * time.max(1.0));
+    }
+
+    #[test]
+    fn fft_is_linear(
+        xs in complex_vec(64),
+        k in -5.0f64..5.0,
+    ) {
+        let scaled: Vec<Complex> = xs.iter().map(|&z| z.scale(k)).collect();
+        let fa = fft(&xs);
+        let fb = fft(&scaled);
+        let bound = xs.iter().map(|z| z.abs()).fold(1.0, f64::max) * xs.len() as f64;
+        for (a, b) in fa.iter().zip(&fb) {
+            prop_assert!((a.scale(k) - *b).abs() < 1e-9 * bound.max(1.0) * (k.abs() + 1.0));
+        }
+    }
+
+    #[test]
+    fn real_input_spectrum_is_conjugate_symmetric(
+        xs in prop::collection::vec(-10.0f64..10.0, 2..200)
+    ) {
+        let spec = sleepwatch_spectral::fft_real(&xs);
+        let n = xs.len();
+        let bound = 1e-8 * n as f64 * 10.0;
+        for k in 1..n {
+            prop_assert!((spec[k] - spec[n - k].conj()).abs() < bound);
+        }
+    }
+
+    #[test]
+    fn classifier_never_panics_and_is_consistent(
+        xs in prop::collection::vec(0.0f64..1.0, 10..400)
+    ) {
+        let spectrum = Spectrum::compute_rounds(&xs);
+        let report = classify(&spectrum, &DiurnalConfig::default());
+        // Phase is present iff diurnal.
+        prop_assert_eq!(report.phase.is_some(), report.class.is_diurnal());
+        // Dominance ratio is positive.
+        prop_assert!(report.dominance_ratio() >= 0.0);
+    }
+
+    #[test]
+    fn trend_slope_bounded_by_value_range(
+        xs in prop::collection::vec(0.0f64..1.0, 2..500)
+    ) {
+        let (slope, intercept) = sleepwatch_spectral::linear_fit(&xs);
+        // A series confined to [0,1] cannot have |slope| > 1 per sample.
+        prop_assert!(slope.abs() <= 1.0);
+        prop_assert!(intercept.is_finite());
+    }
+
+    #[test]
+    fn goertzel_matches_fft_at_any_bin(
+        xs in prop::collection::vec(-5.0f64..5.0, 4..200),
+        k_frac in 0.0f64..1.0,
+    ) {
+        let n = xs.len();
+        let k = ((n - 1) as f64 * k_frac) as usize;
+        let g = goertzel(&xs, k);
+        let full = fft_real(&xs)[k];
+        let bound = 1e-7 * n as f64 * 5.0;
+        prop_assert!((g - full).abs() < bound, "bin {k}: {g:?} vs {full:?}");
+    }
+
+    #[test]
+    fn autocorrelation_is_bounded(
+        xs in prop::collection::vec(-10.0f64..10.0, 3..300),
+        lag in 0usize..400,
+    ) {
+        let r = autocorrelation(&xs, lag);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+    }
+
+    #[test]
+    fn lomb_scargle_power_is_nonnegative(
+        vals in prop::collection::vec(0.0f64..1.0, 3..150),
+    ) {
+        let samples: Vec<(f64, f64)> =
+            vals.iter().enumerate().map(|(i, &v)| (i as f64 * 660.0, v)).collect();
+        let ls = LombScargle::compute(&samples, 0.2, 6.0, 50);
+        for (i, &p) in ls.power.iter().enumerate() {
+            prop_assert!(p >= -1e-9, "negative power at {i}: {p}");
+            prop_assert!(p.is_finite());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Statistics for the sleepwatch measurement pipeline.
+//!
+//! Implements, from scratch, everything the IMC 2014 paper's analysis needs:
+//!
+//! * [descriptive statistics](descriptive) (means, quantiles, quartiles);
+//! * [correlation and simple regression](corr) for the paper's reported
+//!   coefficients (Âs vs A, phase vs longitude, diurnal fraction vs GDP);
+//! * [probability distributions](dist): log-gamma, regularized incomplete
+//!   beta/gamma, the F distribution for ANOVA p-values, `erf`/normal CDF;
+//! * [multiple linear regression](ols) with alias detection;
+//! * [sequential (Type-I) ANOVA](mod@anova) matching R's `aov` (§2.4, Table 5);
+//! * [histograms, CDFs, density grids, and binned quartiles](histogram)
+//!   backing Figs. 4–5, 10, 12–14.
+//!
+//! # Example: Table-5-style factor screening
+//!
+//! ```
+//! use sleepwatch_stats::anova::{anova_pair, anova_single};
+//!
+//! // Country-level observations: diurnal fraction vs two covariates.
+//! let diurnal = [0.63, 0.55, 0.50, 0.40, 0.34, 0.22, 0.18, 0.16, 0.01, 0.002];
+//! let gdp = [5.9, 6.0, 9.3, 14.1, 18.4, 3.9, 12.1, 5.1, 41.0, 50.7];
+//! let elec = [1.7, 2.0, 3.5, 5.0, 3.0, 0.7, 2.5, 0.8, 7.0, 12.1];
+//!
+//! let single = anova_single(&diurnal, "gdp", &gdp).unwrap();
+//! assert!(single.p < 0.05, "GDP correlates with diurnalness");
+//!
+//! let table = anova_pair(&diurnal, "gdp", &gdp, "elec", &elec).unwrap();
+//! assert!(table.row("gdp:elec").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anova;
+pub mod corr;
+pub mod descriptive;
+pub mod dist;
+pub mod histogram;
+pub mod ols;
+
+pub use anova::{anova, anova_pair, anova_single, AnovaError, AnovaRow, AnovaTable, Term};
+pub use corr::{covariance, linfit, pearson, spearman, LinFit};
+pub use descriptive::{mean, median, quantile, quartiles, stddev, variance};
+pub use dist::{erf, f_cdf, f_sf, inc_beta, inc_gamma, ln_gamma, normal_cdf, wilson_interval};
+pub use histogram::{binned_quartiles, BinnedQuartiles, DensityGrid, Histogram};
+pub use ols::{fit, Fit, OlsError};

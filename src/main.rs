@@ -1,0 +1,206 @@
+//! The `sleepwatch` command-line tool.
+//!
+//! ```text
+//! sleepwatch analyze   [--blocks N] [--days D] [--seed S] [--threads T]
+//!                      [--dataset FILE]      world-scale pipeline summary
+//! sleepwatch block     [--diurnal|--flat] [--days D] [--seed S]
+//!                      probe and classify a single /24
+//! sleepwatch countries                     the embedded country table
+//! sleepwatch info                          versions and configuration
+//! ```
+//!
+//! Paper tables/figures live in the separate `experiments` binary
+//! (`cargo run -p sleepwatch-experiments -- --list`).
+
+use sleepwatch::core::{
+    analyze_block, analyze_world, estimate_size, write_dataset, AnalysisConfig,
+};
+use sleepwatch::geoecon::country::COUNTRIES;
+use sleepwatch::simnet::{BlockProfile, BlockSpec, World, WorldConfig};
+use std::process::ExitCode;
+
+struct Args {
+    blocks: usize,
+    days: f64,
+    seed: u64,
+    threads: usize,
+    dataset: Option<String>,
+    diurnal: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            blocks: 2_000,
+            days: 14.0,
+            seed: 1,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            dataset: None,
+            diurnal: true,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sleepwatch <analyze|block|countries|info> \
+         [--blocks N] [--days D] [--seed S] [--threads T] [--dataset FILE] [--flat]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(mut it: impl Iterator<Item = String>) -> Args {
+    let mut a = Args::default();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--blocks" => a.blocks = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--days" => a.days = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--seed" => a.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--threads" => {
+                a.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--dataset" => a.dataset = Some(it.next().unwrap_or_else(|| usage())),
+            "--flat" => a.diurnal = false,
+            "--diurnal" => a.diurnal = true,
+            _ => usage(),
+        }
+    }
+    a
+}
+
+fn cmd_analyze(a: &Args) -> ExitCode {
+    let world = World::generate(WorldConfig {
+        seed: a.seed,
+        num_blocks: a.blocks,
+        span_days: a.days,
+        ..Default::default()
+    });
+    let cfg = AnalysisConfig::over_days(world.cfg.start_time, a.days);
+    if a.days < 14.0 {
+        eprintln!(
+            "note: the paper requires two or more weeks for trustworthy diurnal \
+             classification; {} days will be noisy",
+            a.days
+        );
+    }
+    eprintln!("analyzing {} blocks over {} days…", a.blocks, a.days);
+    let progress = |done: usize, total: usize| {
+        if done.is_multiple_of(2_000) {
+            eprintln!("  {done}/{total}");
+        }
+    };
+    let analysis = analyze_world(&world, &cfg, a.threads, Some(&progress));
+
+    let (strict, sf) = analysis.strict_fraction();
+    let (either, ef) = analysis.diurnal_fraction();
+    println!("blocks analyzed     : {}", analysis.len());
+    println!("strictly diurnal    : {strict} ({:.1}%)", 100.0 * sf);
+    println!("strict or relaxed   : {either} ({:.1}%)", 100.0 * ef);
+    println!("stationary          : {:.1}%", 100.0 * analysis.stationary_fraction());
+
+    println!("\ntop countries by diurnal fraction (≥20 blocks):");
+    for s in analysis.country_stats(20).iter().take(10) {
+        println!("  {:<4}{:>7} blocks  {:>7.3}  (GDP ${:.0})", s.code, s.blocks, s.frac_diurnal, s.gdp);
+    }
+
+    let size = estimate_size(&analysis);
+    println!(
+        "\nactive addresses: mean {:.0}, snapshot range [{:.0}, {:.0}] ({:.1}% swing)",
+        size.mean_active,
+        size.trough_active,
+        size.peak_active,
+        100.0 * size.relative_uncertainty()
+    );
+
+    if let Some(path) = &a.dataset {
+        match std::fs::File::create(path) {
+            Ok(mut f) => {
+                if let Err(e) = write_dataset(&mut f, &analysis) {
+                    eprintln!("could not write dataset: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("\ndataset written to {path}");
+            }
+            Err(e) => {
+                eprintln!("could not create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_block(a: &Args) -> ExitCode {
+    let profile = if a.diurnal {
+        BlockProfile {
+            n_stable: 40,
+            n_diurnal: 160,
+            stable_avail: 0.9,
+            diurnal_avail: 0.85,
+            onset_hours: 8.0,
+            onset_spread: 2.0,
+            duration_hours: 9.0,
+            duration_spread: 1.5,
+            sigma_start: 0.5,
+            sigma_duration: 0.5,
+            utc_offset_hours: 0.0,
+        }
+    } else {
+        BlockProfile::always_on(150, 0.8)
+    };
+    let block = BlockSpec::bare(0, a.seed, profile);
+    let analysis = analyze_block(&block, &AnalysisConfig::over_days(0, a.days));
+    println!("class         : {:?}", analysis.diurnal.class);
+    println!("mean Âs       : {:.3}", analysis.mean_a_short);
+    println!("probes/hour   : {:.1}", analysis.run.probes_per_hour());
+    println!("dominance     : {:.2}", analysis.diurnal.dominance_ratio());
+    if let Some(phase) = analysis.diurnal.phase {
+        let peak = sleepwatch::core::peak_utc_hour(phase);
+        println!("phase         : {phase:.3} rad (daily peak ≈ {peak:.1}h UTC)");
+    }
+    println!(
+        "stationary    : {} ({:+.2} addr/day)",
+        analysis.trend.stationary, analysis.trend.addresses_per_day
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_countries() -> ExitCode {
+    println!("{:<5}{:<24}{:>10}{:>10}{:>8}  region", "code", "name", "GDP", "kWh/cap", "blocks");
+    for c in COUNTRIES {
+        println!(
+            "{:<5}{:<24}{:>10.0}{:>10.0}{:>8.0}  {}",
+            c.code,
+            c.name,
+            c.gdp_per_capita,
+            c.electricity_kwh,
+            c.block_weight,
+            c.region.name()
+        );
+    }
+    println!("\n{} countries modeled", COUNTRIES.len());
+    ExitCode::SUCCESS
+}
+
+fn cmd_info() -> ExitCode {
+    println!("sleepwatch {}", env!("CARGO_PKG_VERSION"));
+    println!("reproduction of: Quan, Heidemann, Pradkin — 'When the Internet Sleeps' (IMC 2014)");
+    println!("round length   : 660 s (11 minutes)");
+    println!("countries      : {}", COUNTRIES.len());
+    println!("experiments    : run `cargo run -p sleepwatch-experiments -- --list`");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { usage() };
+    let parsed = parse_args(args);
+    match cmd.as_str() {
+        "analyze" => cmd_analyze(&parsed),
+        "block" => cmd_block(&parsed),
+        "countries" => cmd_countries(),
+        "info" => cmd_info(),
+        "--help" | "-h" | "help" => usage(),
+        _ => usage(),
+    }
+}

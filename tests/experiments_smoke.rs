@@ -1,0 +1,56 @@
+//! Smoke tests for the experiment harness: every table/figure generator
+//! runs at a tiny scale and produces sane headline metrics.
+
+use sleepwatch_experiments::{run, Context, Options, ALL_IDS};
+
+fn tiny_ctx() -> Context {
+    Context::new(Options { seed: 5, scale: 0.01, threads: 2, out_dir: None })
+}
+
+#[test]
+fn every_experiment_id_is_runnable() {
+    // Shared context so the expensive world/survey runs happen once.
+    let ctx = tiny_ctx();
+    for id in ALL_IDS {
+        let out = run(id, &ctx).unwrap_or_else(|| panic!("unknown id {id}"));
+        assert_eq!(&out.id, id);
+        assert!(!out.report.is_empty(), "{id}: empty report");
+        assert!(!out.csv.is_empty(), "{id}: empty CSV");
+        assert!(out.csv.lines().count() >= 2, "{id}: CSV has no data rows");
+    }
+}
+
+#[test]
+fn unknown_id_is_rejected() {
+    let ctx = tiny_ctx();
+    assert!(run("fig99", &ctx).is_none());
+}
+
+#[test]
+fn world_metrics_are_in_range_at_small_scale() {
+    let ctx = Context::new(Options { seed: 9, scale: 0.05, threads: 2, out_dir: None });
+    let out = run("fig10", &ctx).unwrap();
+    let strict: f64 = out.metric("strict_frac").unwrap().parse().unwrap();
+    assert!((0.02..0.35).contains(&strict), "strict fraction {strict}");
+    let stationary: f64 = out.metric("stationary_frac").unwrap().parse().unwrap();
+    assert!(stationary > 0.6, "stationary {stationary}");
+
+    let t3 = run("table3", &ctx).unwrap();
+    assert_eq!(t3.metric("top_country"), Some("CN"), "China tops the league table");
+
+    let t4 = run("table4", &ctx).unwrap();
+    let most = t4.metric("most_diurnal").unwrap();
+    assert!(
+        ["Eastern Asia", "Central Asia", "W. Asia", "South America", "Southern Asia"]
+            .contains(&most),
+        "most diurnal region {most}"
+    );
+}
+
+#[test]
+fn gdp_correlation_is_negative() {
+    let ctx = Context::new(Options { seed: 9, scale: 0.05, threads: 2, out_dir: None });
+    let out = run("fig16", &ctx).unwrap();
+    let r: f64 = out.metric("r").unwrap().parse().unwrap();
+    assert!(r < -0.2, "GDP correlation should be clearly negative, got {r}");
+}
