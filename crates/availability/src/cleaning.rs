@@ -181,7 +181,7 @@ mod tests {
     fn clean_series_end_to_end() {
         let start = 0u64; // midnight
         let n = 131 * 2 + 10; // just over 2 days
-        // Observe every round except a few, with one duplicate.
+                              // Observe every round except a few, with one duplicate.
         let mut obs: Vec<(u64, f64)> = (0..n as u64).map(|r| (r, 0.5)).collect();
         obs.remove(50);
         obs.remove(90);

@@ -287,7 +287,7 @@ mod tests {
     }
 
     #[test]
-    fn zero_probe_rounds_are_ignored(){
+    fn zero_probe_rounds_are_ignored() {
         let mut est = AvailabilityEstimator::with_default_config(0.5);
         let before = est.estimates();
         let after = est.observe(0, 0);
@@ -367,13 +367,7 @@ impl HoltEstimator {
     /// Creates the estimator with smoothing gains `alpha` (level) and
     /// `beta` (trend).
     pub fn new(initial_a: f64, alpha: f64, beta: f64) -> Self {
-        HoltEstimator {
-            alpha,
-            beta,
-            level: initial_a.clamp(0.0, 1.0),
-            trend: 0.0,
-            primed: false,
-        }
+        HoltEstimator { alpha, beta, level: initial_a.clamp(0.0, 1.0), trend: 0.0, primed: false }
     }
 
     /// Ingests one round; returns the updated level estimate.

@@ -28,4 +28,6 @@ pub mod cleaning;
 pub mod estimator;
 
 pub use cleaning::{bucket_rounds, clean_series, fill_gaps, midnight_trim};
-pub use estimator::{AvailabilityEstimator, DirectEwmaEstimator, Estimates, EwmaConfig, HoltEstimator};
+pub use estimator::{
+    AvailabilityEstimator, DirectEwmaEstimator, Estimates, EwmaConfig, HoltEstimator,
+};

@@ -11,9 +11,10 @@ use sleepwatch_core::{analyze_block, AnalysisConfig};
 use sleepwatch_probing::{survey_block, TrinocularConfig, TrinocularProber};
 use sleepwatch_simnet::{BlockProfile, BlockSpec, World, WorldConfig};
 use sleepwatch_spectral::{
-    acf_diurnal, classify_series, fft_real, goertzel_amplitude, AcfConfig, LombScargle, Spectrum,
+    acf_diurnal, baseline, classify_series, fft_real, goertzel_amplitude, plan_for, AcfConfig,
+    Complex, LombScargle, Spectrum,
 };
-use sleepwatch_stats::anova::{anova_pair};
+use sleepwatch_stats::anova::anova_pair;
 
 fn diurnal_block(id: u64) -> BlockSpec {
     BlockSpec::bare(
@@ -48,11 +49,34 @@ fn availability_series(n: usize) -> Vec<f64> {
 fn bench_fft(c: &mut Criterion) {
     let mut g = c.benchmark_group("fft");
     // 2048: radix-2 path. 1833 / 4582: Bluestein paths at the paper's
-    // survey and A12w lengths.
+    // survey and A12w lengths. Three variants per length: the unplanned
+    // seed kernels (full setup every call), the planned cached path
+    // (plan-cache lookup + output allocation), and the steady-state
+    // scratch path (zero allocations).
     for &n in &[2_048usize, 1_833, 4_582] {
         let series = availability_series(n);
-        g.bench_with_input(BenchmarkId::new("fft_real", n), &series, |b, s| {
+        g.bench_with_input(BenchmarkId::new("real_unplanned", n), &series, |b, s| {
+            b.iter(|| black_box(baseline::fft_real(black_box(s))));
+        });
+        g.bench_with_input(BenchmarkId::new("real_planned", n), &series, |b, s| {
             b.iter(|| black_box(fft_real(black_box(s))));
+        });
+        let plan = plan_for(n);
+        let mut out = vec![Complex::ZERO; n];
+        let mut scratch = vec![Complex::ZERO; plan.real_scratch_len()];
+        g.bench_with_input(BenchmarkId::new("real_planned_scratch", n), &series, |b, s| {
+            b.iter(|| {
+                plan.real_with_scratch(black_box(s), &mut out, &mut scratch);
+                black_box(out[0]);
+            });
+        });
+
+        let complex: Vec<Complex> = series.iter().map(|&x| Complex::from_re(x)).collect();
+        g.bench_with_input(BenchmarkId::new("complex_unplanned", n), &complex, |b, s| {
+            b.iter(|| black_box(baseline::fft(black_box(s))));
+        });
+        g.bench_with_input(BenchmarkId::new("complex_planned", n), &complex, |b, s| {
+            b.iter(|| black_box(sleepwatch_spectral::fft(black_box(s))));
         });
     }
     g.finish();
@@ -117,20 +141,19 @@ fn bench_classifier(c: &mut Criterion) {
 }
 
 fn bench_linktype(c: &mut Criterion) {
-    let names: Vec<Option<String>> = (0..256)
-        .map(|i| {
-            if i % 7 == 0 {
-                None
-            } else {
-                Some(format!("dhcp-dsl-{i:03}.broadband.example.net"))
-            }
-        })
-        .collect();
+    let names: Vec<Option<String>> =
+        (0..256)
+            .map(|i| {
+                if i % 7 == 0 {
+                    None
+                } else {
+                    Some(format!("dhcp-dsl-{i:03}.broadband.example.net"))
+                }
+            })
+            .collect();
     c.bench_function("linktype/classify_block", |b| {
         b.iter(|| {
-            black_box(sleepwatch_linktype::classify_block(
-                names.iter().map(|n| n.as_deref()),
-            ))
+            black_box(sleepwatch_linktype::classify_block(names.iter().map(|n| n.as_deref())))
         });
     });
 }

@@ -129,11 +129,8 @@ impl WorldAnalysis {
         LinkFeature::KEPT
             .iter()
             .map(|&f| {
-                let with: Vec<_> = self
-                    .reports
-                    .iter()
-                    .filter(|r| r.link_features.contains(&f))
-                    .collect();
+                let with: Vec<_> =
+                    self.reports.iter().filter(|r| r.link_features.contains(&f)).collect();
                 let d = with.iter().filter(|r| r.summary.class.is_strict()).count();
                 (f, with.len(), d as f64 / with.len().max(1) as f64)
             })
@@ -280,9 +277,8 @@ impl WorldAnalysis {
         let mut by_org: BTreeMap<String, (Vec<u32>, usize, usize)> = BTreeMap::new();
         for r in &self.reports {
             let Some(cluster) = mapper.cluster_of(r.asn) else { continue };
-            let e = by_org
-                .entry(cluster.key.clone())
-                .or_insert_with(|| (cluster.asns.clone(), 0, 0));
+            let e =
+                by_org.entry(cluster.key.clone()).or_insert_with(|| (cluster.asns.clone(), 0, 0));
             e.1 += 1;
             if r.summary.class.is_strict() {
                 e.2 += 1;
@@ -334,10 +330,8 @@ impl AnovaFactors {
 
     /// Full sequential table for an arbitrary subset of factors, in order.
     pub fn model(&self, idx: &[usize]) -> Result<anova::AnovaTable, anova::AnovaError> {
-        let terms: Vec<Term> = idx
-            .iter()
-            .map(|&i| Term::continuous(self.factors[i].0, &self.factors[i].1))
-            .collect();
+        let terms: Vec<Term> =
+            idx.iter().map(|&i| Term::continuous(self.factors[i].0, &self.factors[i].1)).collect();
         anova::anova(&self.y, &terms)
     }
 }

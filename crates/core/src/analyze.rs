@@ -9,7 +9,8 @@ use sleepwatch_availability::cleaning::clean_series;
 use sleepwatch_probing::{BlockRun, TrinocularConfig, TrinocularProber};
 use sleepwatch_simnet::{BlockSpec, ROUND_SECONDS};
 use sleepwatch_spectral::{
-    classify, trend_default, DiurnalClass, DiurnalConfig, DiurnalReport, Spectrum, TrendReport,
+    classify, plan_for, trend_default, DiurnalClass, DiurnalConfig, DiurnalReport, Spectrum,
+    TrendReport,
 };
 
 /// Pipeline configuration.
@@ -100,7 +101,11 @@ pub fn analyze_block(block: &BlockSpec, cfg: &AnalysisConfig) -> BlockAnalysis {
         cfg.start_time,
         ROUND_SECONDS,
     );
-    let spectrum = Spectrum::compute_rounds(&series);
+    // Every block of a run produces the same post-trim length, so this hits
+    // the global plan cache after the first block — the FFT tables are built
+    // once per world, not once per /24.
+    let plan = plan_for(series.len());
+    let spectrum = Spectrum::compute_with_plan(&series, sleepwatch_spectral::ROUND_SECONDS, &plan);
     let mut diurnal = classify(&spectrum, &cfg.diurnal);
     if fill_fraction > cfg.max_fill_fraction {
         // Too much interpolation to trust periodicity claims.
@@ -108,11 +113,8 @@ pub fn analyze_block(block: &BlockSpec, cfg: &AnalysisConfig) -> BlockAnalysis {
         diurnal.phase = None;
     }
     let trend = trend_default(&series);
-    let mean_a_short = if series.is_empty() {
-        0.0
-    } else {
-        series.iter().sum::<f64>() / series.len() as f64
-    };
+    let mean_a_short =
+        if series.is_empty() { 0.0 } else { series.iter().sum::<f64>() / series.len() as f64 };
     BlockAnalysis { block_id: block.id, run, series, fill_fraction, diurnal, trend, mean_a_short }
 }
 
@@ -120,10 +122,8 @@ impl BlockAnalysis {
     /// Collapses to the compact summary.
     pub fn summary(&self) -> BlockSummary {
         let spectrum = Spectrum::compute_rounds(&self.series);
-        let strongest_cpd = spectrum
-            .strongest_bin()
-            .map(|k| spectrum.cycles_per_day(k))
-            .unwrap_or(0.0);
+        let strongest_cpd =
+            spectrum.strongest_bin().map(|k| spectrum.cycles_per_day(k)).unwrap_or(0.0);
         BlockSummary {
             block_id: self.block_id,
             class: self.diurnal.class,
@@ -225,8 +225,7 @@ mod tests {
     #[test]
     fn analyze_series_ground_truth_path() {
         let b = diurnal_block(5, 0.0);
-        let series: Vec<f64> =
-            (0..1_833u64).map(|r| b.true_availability(r * 660)).collect();
+        let series: Vec<f64> = (0..1_833u64).map(|r| b.true_availability(r * 660)).collect();
         let (report, trend) = analyze_series(&series, &DiurnalConfig::default());
         assert!(report.class.is_diurnal());
         assert!(trend.stationary);

@@ -266,9 +266,7 @@ mod tests {
 
     #[test]
     fn bad_class_is_rejected() {
-        let text = format!(
-            "{HEADER}\n1\tX\t-\t0.5\t1.0\t1\t0\t10\t-\t-\t-\t0\t1990-01\t7\t-\n"
-        );
+        let text = format!("{HEADER}\n1\tX\t-\t0.5\t1.0\t1\t0\t10\t-\t-\t-\t0\t1990-01\t7\t-\n");
         assert!(matches!(read_dataset(text.as_bytes()), Err(ParseError::BadField(_))));
     }
 

@@ -37,11 +37,11 @@ pub mod timeofday;
 pub mod worldrun;
 
 pub use aggregate::{AnovaFactors, CountryStat, OrgStat, AGE_REFERENCE};
+pub use analyze::{
+    analyze_block, analyze_series, unroll_phase, AnalysisConfig, BlockAnalysis, BlockSummary,
+};
 pub use applications::{correct_snapshot, estimate_size, SizeEstimate};
 pub use export::{read_dataset, write_dataset, DatasetRow, ParseError};
 pub use streaming::{OnlineConfig, OnlineDetector};
 pub use timeofday::{activity_pattern, peak_local_hour, peak_utc_hour, ActivityPattern};
-pub use analyze::{
-    analyze_block, analyze_series, unroll_phase, AnalysisConfig, BlockAnalysis, BlockSummary,
-};
 pub use worldrun::{analyze_world, WorldAnalysis, WorldBlockReport};

@@ -49,11 +49,8 @@ fn chinese_isps_more_diurnal_than_us_isps() {
     let orgs = analysis.organization_stats(&mapper, 20);
 
     let mean_frac = |needle: &str| {
-        let v: Vec<f64> = orgs
-            .iter()
-            .filter(|o| o.org.contains(needle))
-            .map(|o| o.frac_diurnal)
-            .collect();
+        let v: Vec<f64> =
+            orgs.iter().filter(|o| o.org.contains(needle)).map(|o| o.frac_diurnal).collect();
         v.iter().sum::<f64>() / v.len().max(1) as f64
     };
     // Org keys derive from ISP names like "China Telecom" / "UnitedStates

@@ -99,7 +99,9 @@ pub fn ablate_probes(ctx: &Context) -> ExperimentOutput {
         &["max probes", "RMSE(Âs)", "probes/hour", "no false outage"],
         &rows,
     );
-    report.push_str("\n(§3.2.4: the 15-probe budget keeps cost <20 probes/hour while bounding error)\n");
+    report.push_str(
+        "\n(§3.2.4: the 15-probe budget keeps cost <20 probes/hour while bounding error)\n",
+    );
     let csv = to_csv(&["max_probes", "rmse", "probes_per_hour"], &rows);
     ExperimentOutput { id: "ablate-probes", report, headline, csv }
 }
@@ -159,11 +161,7 @@ pub fn ablate_gaps(ctx: &Context) -> ExperimentOutput {
                 ls_hits += 1;
             }
         }
-        rows.push(vec![
-            f(loss),
-            f(fft_hits as f64 / per as f64),
-            f(ls_hits as f64 / per as f64),
-        ]);
+        rows.push(vec![f(loss), f(fft_hits as f64 / per as f64), f(ls_hits as f64 / per as f64)]);
         headline.push((format!("fft@{loss}"), f(fft_hits as f64 / per as f64)));
         headline.push((format!("ls@{loss}"), f(ls_hits as f64 / per as f64)));
     }
@@ -334,7 +332,9 @@ pub fn ablate_trim(ctx: &Context) -> ExperimentOutput {
     let mut rows = Vec::new();
     let mut headline = Vec::new();
     // Start mid-afternoon vs near midnight: partial edge days differ.
-    for (label, start) in [("17:18 start", 62_280u64), ("23:50 start", 85_800u64), ("midnight start", 0u64)] {
+    for (label, start) in
+        [("17:18 start", 62_280u64), ("23:50 start", 85_800u64), ("midnight start", 0u64)]
+    {
         let mut trimmed_hits = 0u64;
         let mut raw_hits = 0u64;
         for exp in 0..per {

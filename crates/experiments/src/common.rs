@@ -104,7 +104,7 @@ impl Context {
                 Self::WORLD_DAYS
             );
             let progress = |done: usize, total: usize| {
-                if done.is_multiple_of(2_000) || done == total {
+                if done % 2_000 == 0 || done == total {
                     eprintln!("[world] {done}/{total}");
                 }
             };

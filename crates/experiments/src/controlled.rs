@@ -48,7 +48,9 @@ fn sweep(
         .into_iter()
         .map(|(x, cfg)| {
             let mut accs: Vec<f64> = (0..batches)
-                .map(|b| batch_accuracy(&cfg, analysis, ctx.opts.seed ^ (x * 97.0) as u64, b, per_batch))
+                .map(|b| {
+                    batch_accuracy(&cfg, analysis, ctx.opts.seed ^ (x * 97.0) as u64, b, per_batch)
+                })
                 .collect();
             accs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             let q = |p: f64| sleepwatch_stats::descriptive::quantile_sorted(&accs, p);
@@ -63,17 +65,12 @@ fn sweep_output(
     x_name: &str,
     results: Vec<(f64, f64, f64, f64)>,
 ) -> ExperimentOutput {
-    let rows: Vec<Vec<String>> = results
-        .iter()
-        .map(|&(x, q1, med, q3)| vec![f(x), f(q1), f(med), f(q3)])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        results.iter().map(|&(x, q1, med, q3)| vec![f(x), f(q1), f(med), f(q3)]).collect();
     let mut report = render_table(title, &[x_name, "q1", "median acc", "q3"], &rows);
     let medians: Vec<f64> = results.iter().map(|r| r.2).collect();
     report.push_str(&format!("\naccuracy curve: {}\n", crate::plot::sparkline(&medians)));
-    let headline = results
-        .iter()
-        .map(|&(x, _, med, _)| (format!("acc@{x}"), f(med)))
-        .collect();
+    let headline = results.iter().map(|&(x, _, med, _)| (format!("acc@{x}"), f(med))).collect();
     let csv = to_csv(&[x_name, "q1", "median", "q3"], &rows);
     ExperimentOutput { id, report, headline, csv }
 }
@@ -83,9 +80,7 @@ pub fn fig7(ctx: &Context) -> ExperimentOutput {
     let analysis = AnalysisConfig::over_days(0, DAYS);
     let points = [1u16, 2, 3, 5, 8, 10, 15, 20, 30, 50, 75, 100]
         .into_iter()
-        .map(|nd| {
-            (nd as f64, ControlledConfig { n_diurnal: nd, ..Default::default() })
-        })
+        .map(|nd| (nd as f64, ControlledConfig { n_diurnal: nd, ..Default::default() }))
         .collect();
     sweep_output(
         "fig7",
@@ -134,8 +129,12 @@ pub fn fig9(ctx: &Context) -> ExperimentOutput {
 pub fn ablate_strict(ctx: &Context) -> ExperimentOutput {
     let ratios = [1.25, 1.5, 2.0, 3.0, 4.0];
     let per = ctx.opts.scaled(60, 15) as u64;
-    let diurnal_cfg =
-        ControlledConfig { phi_hours: 10.0, sigma_start: 1.0, sigma_duration: 1.0, ..Default::default() };
+    let diurnal_cfg = ControlledConfig {
+        phi_hours: 10.0,
+        sigma_start: 1.0,
+        sigma_duration: 1.0,
+        ..Default::default()
+    };
     let mut rows = Vec::new();
     let mut headline = Vec::new();
     for ratio in ratios {

@@ -103,10 +103,7 @@ pub fn usc(ctx: &Context) -> ExperimentOutput {
             f((pocket.strict + pocket.relaxed) as f64
                 / (pocket.total - pocket.excluded).max(1) as f64),
         ),
-        (
-            "server_strict".to_string(),
-            acc["server"].strict.to_string(),
-        ),
+        ("server_strict".to_string(), acc["server"].strict.to_string()),
     ];
     let csv = to_csv(&["role", "blocks", "excluded", "strict", "relaxed", "non"], &rows);
     ExperimentOutput { id: "usc", report, headline, csv }
@@ -122,12 +119,7 @@ pub fn ext_orgs(ctx: &Context) -> ExperimentOutput {
         .iter()
         .take(25)
         .map(|o| {
-            vec![
-                o.org.clone(),
-                o.asns.len().to_string(),
-                o.blocks.to_string(),
-                f(o.frac_diurnal),
-            ]
+            vec![o.org.clone(), o.asns.len().to_string(), o.blocks.to_string(), f(o.frac_diurnal)]
         })
         .collect();
     let report = render_table(
@@ -137,10 +129,7 @@ pub fn ext_orgs(ctx: &Context) -> ExperimentOutput {
     );
     let headline = vec![
         ("orgs".to_string(), orgs.len().to_string()),
-        (
-            "top_org".to_string(),
-            orgs.first().map(|o| o.org.clone()).unwrap_or_default(),
-        ),
+        ("top_org".to_string(), orgs.first().map(|o| o.org.clone()).unwrap_or_default()),
     ];
     let csv = to_csv(&["organization", "ases", "blocks", "frac_diurnal"], &rows);
     ExperimentOutput { id: "ext-orgs", report, headline, csv }
@@ -465,9 +454,6 @@ pub fn ext_lease(ctx: &Context) -> ExperimentOutput {
         "\n(only the 24 h lease may be strict; 12 h lands at the first harmonic →\n\
          relaxed, per the paper's definition; others must stay non-diurnal)\n",
     );
-    let csv = to_csv(
-        &["period_h", "expected_cpd", "measured_cpd", "strict", "relaxed"],
-        &rows,
-    );
+    let csv = to_csv(&["period_h", "expected_cpd", "measured_cpd", "strict", "relaxed"], &rows);
     ExperimentOutput { id: "ext-lease", report, headline, csv }
 }

@@ -43,10 +43,42 @@ pub use common::{Context, ExperimentOutput, Options};
 
 /// All experiment ids, in run order.
 pub const ALL_IDS: &[&str] = &[
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table1", "table2", "table3",
-    "table4", "table5", "usc", "ext-orgs", "ext-size", "ext-timeofday", "ext-outages", "ext-dataset", "ext-weekend", "ext-lease",
-    "ablate-ewma", "ablate-strict", "ablate-probes", "ablate-gaps", "ablate-acf", "ablate-trim",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "usc",
+    "ext-orgs",
+    "ext-size",
+    "ext-timeofday",
+    "ext-outages",
+    "ext-dataset",
+    "ext-weekend",
+    "ext-lease",
+    "ablate-ewma",
+    "ablate-strict",
+    "ablate-probes",
+    "ablate-gaps",
+    "ablate-acf",
+    "ablate-trim",
 ];
 
 /// Runs one experiment by id.

@@ -131,9 +131,8 @@ mod tests {
         // 7 days of a daily square wave: the chart's top row should carry
         // several distinct bumps.
         let rpd = 131;
-        let series: Vec<f64> = (0..7 * rpd)
-            .map(|i| if (i % rpd) < rpd / 3 { 0.9 } else { 0.3 })
-            .collect();
+        let series: Vec<f64> =
+            (0..7 * rpd).map(|i| if (i % rpd) < rpd / 3 { 0.9 } else { 0.3 }).collect();
         let chart = line_chart(&series, 70, 8);
         let top_row = chart.lines().next().unwrap();
         let groups = top_row.split(' ').filter(|s| s.contains('*')).count();

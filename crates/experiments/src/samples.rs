@@ -65,7 +65,8 @@ fn sample_figure(
 
     let mut prober = TrinocularProber::new(block, TrinocularConfig::default());
     let run = prober.run(block, start, rounds);
-    let (a_short, _) = clean_series(&run.a_short_observations(), rounds as usize, start, ROUND_SECONDS);
+    let (a_short, _) =
+        clean_series(&run.a_short_observations(), rounds as usize, start, ROUND_SECONDS);
     let (a_oper, _) =
         clean_series(&run.a_operational_observations(), rounds as usize, start, ROUND_SECONDS);
 

@@ -182,9 +182,7 @@ impl SurveyStudy {
 fn quartile_rows(q: &BinnedQuartiles) -> Vec<Vec<String>> {
     q.bins
         .iter()
-        .map(|&(center, n, q1, med, q3)| {
-            vec![f(center), n.to_string(), f(q1), f(med), f(q3)]
-        })
+        .map(|&(center, n, q1, med, q3)| vec![f(center), n.to_string(), f(q1), f(med), f(q3)])
         .collect()
 }
 

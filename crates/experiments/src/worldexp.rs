@@ -17,11 +17,8 @@ pub fn fig10(ctx: &Context) -> ExperimentOutput {
     hist.extend(analysis.reports.iter().map(|r| r.summary.strongest_cpd));
 
     let frac_in = |lo: f64, hi: f64| {
-        analysis
-            .reports
-            .iter()
-            .filter(|r| (lo..hi).contains(&r.summary.strongest_cpd))
-            .count() as f64
+        analysis.reports.iter().filter(|r| (lo..hi).contains(&r.summary.strongest_cpd)).count()
+            as f64
             / analysis.len() as f64
     };
     let daily = frac_in(0.9, 1.15);
@@ -30,11 +27,7 @@ pub fn fig10(ctx: &Context) -> ExperimentOutput {
     let (either_n, either_f) = analysis.diurnal_fraction();
 
     let cdf = hist.cdf();
-    let rows: Vec<Vec<String>> = cdf
-        .iter()
-        .step_by(5)
-        .map(|&(x, c)| vec![f(x), f(c)])
-        .collect();
+    let rows: Vec<Vec<String>> = cdf.iter().step_by(5).map(|&(x, c)| vec![f(x), f(c)]).collect();
     let mut report = render_table(
         "Fig. 10 — CDF of strongest frequency (cycles/day)",
         &["cycles/day ≤", "CDF"],
@@ -115,16 +108,17 @@ pub fn fig11(ctx: &Context) -> ExperimentOutput {
         "\nmean fraction {:.3}; slope after 2012: {:+.5}/month (paper: marked decline)\n",
         mean, late_slope
     ));
-    let headline = vec![
-        ("mean_frac".to_string(), f(mean)),
-        ("post2012_slope".to_string(), f(late_slope)),
-    ];
+    let headline =
+        vec![("mean_frac".to_string(), f(mean)), ("post2012_slope".to_string(), f(late_slope))];
     let csv = to_csv(&["date", "site", "frac_diurnal"], &rows);
     ExperimentOutput { id: "fig11", report, headline, csv }
 }
 
 /// Renders a grid as an ASCII world map (lat rows top-down).
-fn ascii_map(grid: &sleepwatch_stats::DensityGrid, normalize: Option<&sleepwatch_stats::DensityGrid>) -> String {
+fn ascii_map(
+    grid: &sleepwatch_stats::DensityGrid,
+    normalize: Option<&sleepwatch_stats::DensityGrid>,
+) -> String {
     const SHADES: &[u8] = b" .:-=+*#%@";
     let mut out = String::new();
     for iy in (0..grid.ny()).rev() {
@@ -161,7 +155,10 @@ fn ascii_map(grid: &sleepwatch_stats::DensityGrid, normalize: Option<&sleepwatch
     out
 }
 
-fn grid_csv(all: &sleepwatch_stats::DensityGrid, diurnal: &sleepwatch_stats::DensityGrid) -> String {
+fn grid_csv(
+    all: &sleepwatch_stats::DensityGrid,
+    diurnal: &sleepwatch_stats::DensityGrid,
+) -> String {
     let mut rows = Vec::new();
     for (ix, iy, c) in all.nonzero() {
         let d = diurnal.count(ix, iy);
@@ -257,10 +254,8 @@ pub fn fig14(ctx: &Context) -> ExperimentOutput {
          (b) unrolled phase vs longitude, relaxed: r = {:.3} (paper: 0.763)\n",
         r_strict, r_relaxed
     ));
-    let headline = vec![
-        ("r_strict".to_string(), f(r_strict)),
-        ("r_relaxed".to_string(), f(r_relaxed)),
-    ];
+    let headline =
+        vec![("r_strict".to_string(), f(r_strict)), ("r_relaxed".to_string(), f(r_relaxed))];
     // CSV: the raw (lon, unrolled phase) pairs, capped.
     let pairs = analysis.phase_longitude_pairs(true);
     let csv_rows: Vec<Vec<String>> =
@@ -298,8 +293,7 @@ pub fn fig15(ctx: &Context) -> ExperimentOutput {
         "\nlinear fit: {:+.3} %/month, r = {:.3} (paper: +0.08 %/month, r = 0.609)\n",
         slope_pct, r
     ));
-    let headline =
-        vec![("slope_pct_per_month".to_string(), f(slope_pct)), ("r".to_string(), f(r))];
+    let headline = vec![("slope_pct_per_month".to_string(), f(slope_pct)), ("r".to_string(), f(r))];
     let csv = to_csv(&["alloc_month", "blocks", "frac_diurnal"], &rows);
     ExperimentOutput { id: "fig15", report, headline, csv }
 }
@@ -356,11 +350,7 @@ pub fn fig17(ctx: &Context) -> ExperimentOutput {
         100.0 * analysis.link_coverage()
     ));
     let get = |kw: &str| {
-        stats
-            .iter()
-            .find(|(ft, _, _)| ft.keyword() == kw)
-            .map(|&(_, _, fr)| fr)
-            .unwrap_or(0.0)
+        stats.iter().find(|(ft, _, _)| ft.keyword() == kw).map(|&(_, _, fr)| fr).unwrap_or(0.0)
     };
     let headline = vec![
         ("dyn".to_string(), f(get("dyn"))),
@@ -458,10 +448,7 @@ pub fn table3(ctx: &Context) -> ExperimentOutput {
     );
     let top = stats.first();
     let headline = vec![
-        (
-            "top_country".to_string(),
-            top.map(|s| s.code.to_string()).unwrap_or_default(),
-        ),
+        ("top_country".to_string(), top.map(|s| s.code.to_string()).unwrap_or_default()),
         ("top_frac".to_string(), top.map(|s| f(s.frac_diurnal)).unwrap_or_default()),
         (
             "us_frac".to_string(),
@@ -529,8 +516,7 @@ pub fn table5(ctx: &Context) -> ExperimentOutput {
         }
         rows.push(row);
     }
-    let header: Vec<&str> =
-        std::iter::once("factor").chain(names.iter().copied()).collect();
+    let header: Vec<&str> = std::iter::once("factor").chain(names.iter().copied()).collect();
     let mut report = render_table(
         "Table 5 — ANOVA p-values: diagonal = single factor, off-diagonal = interaction (* = p < 0.05)",
         &header,

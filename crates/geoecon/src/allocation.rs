@@ -188,11 +188,8 @@ impl AllocationRegistry {
     /// deterministically from `key`. Falls back to the registry's latest
     /// prefix when nothing matches.
     pub fn pick_prefix(&self, rir: Rir, earliest: YearMonth, key: u64) -> u8 {
-        let candidates: Vec<&Slash8> = self
-            .entries
-            .iter()
-            .filter(|e| e.rir == rir && e.date >= earliest)
-            .collect();
+        let candidates: Vec<&Slash8> =
+            self.entries.iter().filter(|e| e.rir == rir && e.date >= earliest).collect();
         let pool: Vec<&Slash8> = if candidates.is_empty() {
             let mut all: Vec<&Slash8> = self.entries.iter().filter(|e| e.rir == rir).collect();
             all.sort_by_key(|e| e.date);
@@ -248,8 +245,7 @@ mod tests {
     fn dates_lie_in_rir_windows() {
         let reg = AllocationRegistry::synthesize(2);
         for e in reg.entries() {
-            let (_, first, last, _) =
-                RIR_WINDOWS.iter().find(|&&(r, _, _, _)| r == e.rir).unwrap();
+            let (_, first, last, _) = RIR_WINDOWS.iter().find(|&&(r, _, _, _)| r == e.rir).unwrap();
             assert!(e.date >= *first && e.date <= *last, "{:?}", e);
         }
         assert!(reg.exhaustion() <= YearMonth::new(2011, 2));

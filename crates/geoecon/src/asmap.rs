@@ -31,11 +31,43 @@ pub struct OrgCluster {
 
 /// Tokens too generic to identify an organization; ignored when clustering.
 const STOPWORDS: &[&str] = &[
-    "inc", "llc", "ltd", "limited", "corp", "corporation", "co", "company", "sa", "srl",
-    "gmbh", "ag", "plc", "bv", "internet", "network", "networks", "communications",
-    "communication", "telecom", "telecommunications", "telekom", "cable", "broadband",
-    "online", "services", "service", "group", "holdings", "the", "of", "and", "for", "de",
-    "backbone", "as", "isp",
+    "inc",
+    "llc",
+    "ltd",
+    "limited",
+    "corp",
+    "corporation",
+    "co",
+    "company",
+    "sa",
+    "srl",
+    "gmbh",
+    "ag",
+    "plc",
+    "bv",
+    "internet",
+    "network",
+    "networks",
+    "communications",
+    "communication",
+    "telecom",
+    "telecommunications",
+    "telekom",
+    "cable",
+    "broadband",
+    "online",
+    "services",
+    "service",
+    "group",
+    "holdings",
+    "the",
+    "of",
+    "and",
+    "for",
+    "de",
+    "backbone",
+    "as",
+    "isp",
 ];
 
 /// Normalizes one name into its significant tokens, lowercased.
@@ -97,8 +129,7 @@ impl AsOrgMapper {
             .clusters
             .iter()
             .filter(|c| {
-                c.key.contains(&kw)
-                    || c.names.iter().any(|n| n.to_ascii_lowercase().contains(&kw))
+                c.key.contains(&kw) || c.names.iter().any(|n| n.to_ascii_lowercase().contains(&kw))
             })
             .flat_map(|c| c.asns.iter().copied())
             .collect();
@@ -166,10 +197,8 @@ mod tests {
 
     #[test]
     fn empty_name_clusters_alone() {
-        let recs = vec![
-            AsRecord { asn: 1, name: "12345".into() },
-            AsRecord { asn: 2, name: "".into() },
-        ];
+        let recs =
+            vec![AsRecord { asn: 1, name: "12345".into() }, AsRecord { asn: 2, name: "".into() }];
         let m = AsOrgMapper::cluster(&recs);
         assert_eq!(m.clusters().len(), 2);
     }

@@ -123,9 +123,7 @@ mod tests {
         let db = GeoDatabase::new(1);
         let cn = by_code("CN").unwrap();
         let n = 20_000;
-        let located = (0..n)
-            .filter(|&b| db.locate(b, cn, cn.lon, cn.lat).is_some())
-            .count();
+        let located = (0..n).filter(|&b| db.locate(b, cn, cn.lon, cn.lat).is_some()).count();
         let frac = located as f64 / n as f64;
         assert!((frac - 0.93).abs() < 0.01, "coverage {frac}");
     }

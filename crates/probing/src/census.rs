@@ -161,12 +161,7 @@ mod tests {
         let cfg = CensusConfig { passes: 40, ..Default::default() };
         let c = run_census(&b, 1_000_000_000, &cfg);
         let truth = b.true_availability(1_000_000_000);
-        assert!(
-            (c.hist_avail - truth).abs() < 0.08,
-            "hist {} vs truth {}",
-            c.hist_avail,
-            truth
-        );
+        assert!((c.hist_avail - truth).abs() < 0.08, "hist {} vs truth {}", c.hist_avail, truth);
     }
 
     #[test]

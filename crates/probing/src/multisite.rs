@@ -96,10 +96,7 @@ pub fn merged_outages(states: &[MergedState]) -> Vec<MergedOutage> {
             }
             MergedState::Up => {
                 if let Some(start) = open.take() {
-                    out.push(MergedOutage {
-                        start_round: start as u64,
-                        end_round: Some(r as u64),
-                    });
+                    out.push(MergedOutage { start_round: start as u64, end_round: Some(r as u64) });
                 }
             }
             MergedState::Unknown => {}
@@ -170,10 +167,7 @@ mod tests {
         use BlockState::*;
         let a = run_with_states(&[(1, Up)], 3);
         let merged = merge_states(&[&a], 3);
-        assert_eq!(
-            merged,
-            vec![MergedState::Unknown, MergedState::Up, MergedState::Unknown]
-        );
+        assert_eq!(merged, vec![MergedState::Unknown, MergedState::Up, MergedState::Unknown]);
     }
 
     #[test]
@@ -218,9 +212,8 @@ mod tests {
         // Site A loses its own uplink for rounds 5..10 (sees Down); site B
         // keeps seeing the block Up.
         let rounds = 15u64;
-        let a_states: Vec<(u64, BlockState)> = (0..rounds)
-            .map(|r| (r, if (5..10).contains(&r) { Down } else { Up }))
-            .collect();
+        let a_states: Vec<(u64, BlockState)> =
+            (0..rounds).map(|r| (r, if (5..10).contains(&r) { Down } else { Up })).collect();
         let b_states: Vec<(u64, BlockState)> = (0..rounds).map(|r| (r, Up)).collect();
         let a = run_with_states(&a_states, rounds);
         let b = run_with_states(&b_states, rounds);

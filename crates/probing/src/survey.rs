@@ -97,8 +97,12 @@ mod tests {
         let b = BlockSpec::bare(2, 9, BlockProfile::always_on(200, 0.735));
         let s = survey_block(&b, 0, 500);
         let truth = b.true_availability(0);
-        assert!((s.mean_availability() - truth).abs() < 0.02,
-            "survey {} vs truth {}", s.mean_availability(), truth);
+        assert!(
+            (s.mean_availability() - truth).abs() < 0.02,
+            "survey {} vs truth {}",
+            s.mean_availability(),
+            truth
+        );
         // With 500 rounds at A≈0.7, every active address responds sometime.
         assert_eq!(s.ever_count(), 200);
     }

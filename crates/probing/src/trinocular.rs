@@ -295,7 +295,7 @@ impl TrinocularProber {
             && self.state != BlockState::Down
             // Down -> Unknown -> Down is one continuing outage, not two:
             // only open a new event once the previous one has closed.
-            && self.outages.last().is_none_or(|o| o.end_round.is_some())
+            && self.outages.last().map_or(true, |o| o.end_round.is_some())
         {
             self.outages.push(OutageEvent { start_round: round, end_round: None });
         }
@@ -328,10 +328,7 @@ impl TrinocularProber {
         let mut records = Vec::with_capacity(rounds as usize);
         for r in 0..rounds {
             let time = start_time + r * ROUND_SECONDS;
-            let restarting = self
-                .cfg
-                .restart_interval_rounds
-                .is_some_and(|k| r > 0 && r % k == 0);
+            let restarting = self.cfg.restart_interval_rounds.is_some_and(|k| r > 0 && r % k == 0);
             let mut dropped_probe = false;
             if restarting {
                 // The prober process bounces: belief survives on disk, but
@@ -509,8 +506,7 @@ mod tests {
             "missing {missing}, expected ≈{expected}"
         );
         // Missing rounds are exactly at restart multiples.
-        let kept: std::collections::HashSet<u64> =
-            run.records.iter().map(|r| r.round).collect();
+        let kept: std::collections::HashSet<u64> = run.records.iter().map(|r| r.round).collect();
         for r in 0..rounds {
             if r % 30 != 0 || r == 0 {
                 assert!(kept.contains(&r), "round {r} unexpectedly missing");

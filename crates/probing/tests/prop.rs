@@ -1,7 +1,9 @@
 //! Property-based tests for the probing substrate.
 
 use proptest::prelude::*;
-use sleepwatch_probing::{run_census, survey_block, CensusConfig, TrinocularConfig, TrinocularProber};
+use sleepwatch_probing::{
+    run_census, survey_block, CensusConfig, TrinocularConfig, TrinocularProber,
+};
 use sleepwatch_simnet::{BlockProfile, BlockSpec};
 
 fn arb_block() -> impl Strategy<Value = BlockSpec> {

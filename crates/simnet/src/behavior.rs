@@ -211,12 +211,8 @@ mod tests {
     #[test]
     fn periodic_behavior_cycles_at_its_period() {
         // 6-hour lease, half duty: up for 3 h, down for 3 h.
-        let b = AddressBehavior::Periodic {
-            period_hours: 6.0,
-            phase_frac: 0.0,
-            duty: 0.5,
-            avail: 1.0,
-        };
+        let b =
+            AddressBehavior::Periodic { period_hours: 6.0, phase_frac: 0.0, duty: 0.5, avail: 1.0 };
         assert!(b.is_up(KEY, 0));
         assert!(b.is_up(KEY, 2 * 3_600));
         assert!(!b.is_up(KEY, 4 * 3_600));

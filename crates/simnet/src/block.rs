@@ -287,8 +287,7 @@ impl BlockSpec {
                 // block's phase in the regional pool is keyed, with a small
                 // sequential skew across its addresses (sequential
                 // hand-out).
-                let mut ph =
-                    KeyedRng::from_parts(&[self.seed, STREAM_LEASE, self.id]);
+                let mut ph = KeyedRng::from_parts(&[self.seed, STREAM_LEASE, self.id]);
                 let base_phase = ph.next_f64();
                 let skew = (slot - p.n_stable) as f64 / 256.0 * 0.1;
                 return AddressBehavior::Periodic {
@@ -301,8 +300,7 @@ impl BlockSpec {
             let mut on =
                 KeyedRng::from_parts(&[self.seed, STREAM_ADDR_ONSET, self.id, addr as u64]);
             let onset = p.onset_hours + on.next_f64() * p.onset_spread;
-            let mut du =
-                KeyedRng::from_parts(&[self.seed, STREAM_ADDR_DUR, self.id, addr as u64]);
+            let mut du = KeyedRng::from_parts(&[self.seed, STREAM_ADDR_DUR, self.id, addr as u64]);
             let duration = (p.duration_hours
                 + du.range(-p.duration_spread / 2.0, p.duration_spread / 2.0))
             .clamp(0.5, 24.0);
@@ -322,9 +320,7 @@ impl BlockSpec {
 
     /// Physical addresses of the ever-active set `E(b)`, in slot order.
     pub fn ever_active_addrs(&self) -> Vec<u8> {
-        (0..self.profile.ever_active().min(256))
-            .map(|s| self.slot_to_addr(s as u8))
-            .collect()
+        (0..self.profile.ever_active().min(256)).map(|s| self.slot_to_addr(s as u8)).collect()
     }
 
     /// `|E(b)|`.
@@ -568,8 +564,7 @@ mod tests {
         b.lease = Some(LeaseParams { period_hours: 9.0, duty: 0.5 });
         // Availability oscillates with period 9 h, not 24 h: samples one
         // lease-period apart match far better than samples 12 h apart.
-        let series: Vec<f64> =
-            (0..131 * 14).map(|r| b.true_availability(r * 660)).collect();
+        let series: Vec<f64> = (0..131 * 14).map(|r| b.true_availability(r * 660)).collect();
         let lag = |hours: f64| -> f64 {
             let k = (hours * 3_600.0 / 660.0).round() as usize;
             let n = series.len() - k;

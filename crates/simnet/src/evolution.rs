@@ -47,7 +47,7 @@ pub fn survey_calendar() -> Vec<(YearMonth, char)> {
         // Stagger sites so each quarter-ish period has a survey, like the
         // real archive's interleaved collection points.
         site += 1;
-        if site.is_multiple_of(3) {
+        if site % 3 == 0 {
             m += 3;
         } else {
             m += 1;

@@ -148,9 +148,7 @@ mod tests {
         for id in 0..30 {
             let b = block_with_links(id, vec![LinkClass::Ppp]);
             for name in ptr_names(&b).iter().flatten() {
-                assert!(name
-                    .chars()
-                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.'));
+                assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.'));
                 assert!(!name.starts_with('.') && !name.ends_with('.'));
             }
         }

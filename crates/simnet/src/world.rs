@@ -78,7 +78,8 @@ const STREAM_OUTAGE: u64 = 0x6f75_7467; // "outg"
 
 /// Per-country AS inventory: `(asn, ISP display name)` pairs.
 fn synthesize_ases(countries: &[&'static Country]) -> (Vec<AsRecord>, Vec<Vec<u32>>) {
-    const SUFFIXES: [&str; 6] = ["Telecom", "Cable", "Online", "DSL Networks", "Broadband", "Datacom"];
+    const SUFFIXES: [&str; 6] =
+        ["Telecom", "Cable", "Online", "DSL Networks", "Broadband", "Datacom"];
     let mut records = Vec::new();
     let mut per_country = Vec::with_capacity(countries.len());
     let mut next_asn = 1_000u32;
@@ -354,7 +355,12 @@ impl World {
 
     /// Picks the /8 whose allocation date is nearest `target` within `rir`
     /// (small keyed tie-jitter so one date doesn't absorb everything).
-    fn pick_prefix_near(registry: &AllocationRegistry, rir: Rir, target: YearMonth, key: u64) -> u8 {
+    fn pick_prefix_near(
+        registry: &AllocationRegistry,
+        rir: Rir,
+        target: YearMonth,
+        key: u64,
+    ) -> u8 {
         let mut rng = KeyedRng::from_parts(&[0x6e65_6172, key]);
         let jitter = rng.below(7) as i64 - 3;
         registry
@@ -434,8 +440,7 @@ mod tests {
     fn us_blocks_rarely_diurnal_cn_often() {
         let w = World::generate(WorldConfig { num_blocks: 6_000, seed: 3, ..Default::default() });
         let frac_in = |code: &str| {
-            let blocks: Vec<_> =
-                w.blocks.iter().filter(|b| w.country_of(b).code == code).collect();
+            let blocks: Vec<_> = w.blocks.iter().filter(|b| w.country_of(b).code == code).collect();
             let d = blocks.iter().filter(|b| b.planted_diurnal).count();
             (d as f64 / blocks.len().max(1) as f64, blocks.len())
         };
@@ -481,8 +486,7 @@ mod tests {
     fn dynamic_links_skew_diurnal() {
         let w = small_world();
         let frac_diurnal = |class: LinkClass| {
-            let with: Vec<_> =
-                w.blocks.iter().filter(|b| b.links.contains(&class)).collect();
+            let with: Vec<_> = w.blocks.iter().filter(|b| b.links.contains(&class)).collect();
             with.iter().filter(|b| b.planted_diurnal).count() as f64 / with.len().max(1) as f64
         };
         assert!(frac_diurnal(LinkClass::Dynamic) > frac_diurnal(LinkClass::Static));
@@ -518,7 +522,8 @@ mod tests {
 
     #[test]
     fn propensity_scale_shifts_fraction() {
-        let base = World::generate(WorldConfig { num_blocks: 3_000, seed: 4, ..Default::default() });
+        let base =
+            World::generate(WorldConfig { num_blocks: 3_000, seed: 4, ..Default::default() });
         let scaled = World::generate(WorldConfig {
             num_blocks: 3_000,
             seed: 4,
@@ -536,8 +541,7 @@ mod tests {
         let w = small_world();
         assert!(!w.as_records.is_empty());
         // Every block's ASN exists in the record set.
-        let asns: std::collections::HashSet<u32> =
-            w.as_records.iter().map(|r| r.asn).collect();
+        let asns: std::collections::HashSet<u32> = w.as_records.iter().map(|r| r.asn).collect();
         for b in w.blocks.iter().take(200) {
             assert!(asns.contains(&b.asn));
         }

@@ -6,31 +6,29 @@ use sleepwatch_simnet::{AddrKey, AddressBehavior, BlockProfile, BlockSpec};
 
 fn arb_profile() -> impl Strategy<Value = BlockProfile> {
     (
-        0u16..=128,          // n_stable
-        0u16..=128,          // n_diurnal
-        0.05f64..=1.0,       // stable_avail
-        0.05f64..=1.0,       // diurnal_avail
-        0.0f64..24.0,        // onset
-        0.0f64..12.0,        // onset_spread
-        1.0f64..16.0,        // duration
-        0.0f64..4.0,         // sigma_start
-        -12.0f64..12.0,      // utc offset
+        0u16..=128,     // n_stable
+        0u16..=128,     // n_diurnal
+        0.05f64..=1.0,  // stable_avail
+        0.05f64..=1.0,  // diurnal_avail
+        0.0f64..24.0,   // onset
+        0.0f64..12.0,   // onset_spread
+        1.0f64..16.0,   // duration
+        0.0f64..4.0,    // sigma_start
+        -12.0f64..12.0, // utc offset
     )
-        .prop_map(
-            |(ns, nd, sa, da, onset, spread, dur, ss, tz)| BlockProfile {
-                n_stable: ns,
-                n_diurnal: nd,
-                stable_avail: sa,
-                diurnal_avail: da,
-                onset_hours: onset,
-                onset_spread: spread,
-                duration_hours: dur,
-                duration_spread: 1.0,
-                sigma_start: ss,
-                sigma_duration: 0.5,
-                utc_offset_hours: tz,
-            },
-        )
+        .prop_map(|(ns, nd, sa, da, onset, spread, dur, ss, tz)| BlockProfile {
+            n_stable: ns,
+            n_diurnal: nd,
+            stable_avail: sa,
+            diurnal_avail: da,
+            onset_hours: onset,
+            onset_spread: spread,
+            duration_hours: dur,
+            duration_spread: 1.0,
+            sigma_start: ss,
+            sigma_duration: 0.5,
+            utc_offset_hours: tz,
+        })
 }
 
 proptest! {

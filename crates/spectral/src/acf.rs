@@ -8,6 +8,16 @@
 //! strict rule, but in the time domain, where it is naturally robust to
 //! day-to-day amplitude variation. Used as a cross-check and in the
 //! `ablate-acf` comparison.
+//!
+//! Two evaluation paths are provided: [`autocorrelation`] computes one lag
+//! directly in `O(n)`, while [`autocorrelation_all`] computes *every* lag at
+//! once via Wiener–Khinchin — `|FFT(x − μ)|²` inverse-transformed, zero-padded
+//! to kill circular wrap-around — in `O(n log n)` through the shared
+//! [plan cache](crate::plan::plan_for). The detector scans many competitor
+//! lags, so it uses the FFT path.
+
+use crate::complex::Complex;
+use crate::plan::plan_for;
 
 /// Normalized autocorrelation of `series` at integer `lag` samples
 /// (`r ∈ [−1, 1]`; 0 for degenerate inputs or lags beyond the series).
@@ -29,6 +39,51 @@ pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
         cov += (series[i] - mean) * (series[i + lag] - mean);
     }
     cov / var
+}
+
+/// Normalized autocorrelation at every lag `0..n`, matching
+/// [`autocorrelation`] lag-by-lag but in one `O(n log n)` pass.
+///
+/// Wiener–Khinchin: the linear (not circular) autocovariance of the
+/// mean-centered series is the inverse DFT of its power spectrum once the
+/// series is zero-padded to at least `2n` samples — padding to the next
+/// power of two keeps both transforms on the cheap radix-2 path and reuses
+/// plans from the global cache. Degenerate inputs (constant series, fewer
+/// than 3 samples) return all-zero tails like the direct path.
+pub fn autocorrelation_all(series: &[f64]) -> Vec<f64> {
+    let n = series.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; n];
+    out[0] = 1.0;
+    if n < 3 {
+        return out;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|&x| (x - mean) * (x - mean)).sum();
+    if var <= 1e-18 * n as f64 * (mean * mean + 1.0) {
+        return out;
+    }
+
+    // Pad to ≥ 2n so the circular convolution of the padded series equals
+    // the linear autocovariance for all lags 0..n.
+    let m = (2 * n).next_power_of_two();
+    let plan = plan_for(m);
+    let mut buf: Vec<Complex> = Vec::with_capacity(m);
+    buf.extend(series.iter().map(|&x| Complex::from_re(x - mean)));
+    buf.resize(m, Complex::ZERO);
+    let mut scratch = vec![Complex::ZERO; plan.scratch_len()];
+    plan.process_with_scratch(&mut buf, &mut scratch);
+    for z in &mut buf {
+        *z = Complex::from_re(z.norm_sqr());
+    }
+    plan.inverse_with_scratch(&mut buf, &mut scratch);
+    for (r, z) in out.iter_mut().zip(&buf) {
+        *r = z.re / var;
+    }
+    out[0] = 1.0;
+    out
 }
 
 /// Result of the ACF daily-periodicity test.
@@ -64,9 +119,14 @@ impl Default for AcfConfig {
 }
 
 /// Runs the ACF daily test.
+///
+/// All scanned lags come from one [`autocorrelation_all`] pass (FFT-based,
+/// plan-cached) rather than a direct `O(n)` evaluation per lag.
 pub fn acf_diurnal(series: &[f64], cfg: &AcfConfig) -> AcfReport {
     let lag_day = (86_400.0 / cfg.sample_period).round() as usize;
-    let r_day = autocorrelation(series, lag_day);
+    let all = autocorrelation_all(series);
+    let at = |lag: usize| all.get(lag).copied().unwrap_or(0.0);
+    let r_day = at(lag_day);
 
     // Competitors: lags from a quarter day up to just under a day, plus
     // the day-and-a-half lag — away from 1d and 2d harmonics and from the
@@ -77,7 +137,7 @@ pub fn acf_diurnal(series: &[f64], cfg: &AcfConfig) -> AcfReport {
         .step_by((lag_day / 16).max(1))
         .chain(std::iter::once((lag_day * 3) / 2));
     for lag in candidates {
-        let r = autocorrelation(series, lag);
+        let r = at(lag);
         if r > r_competitor {
             r_competitor = r;
             competitor_lag = lag;
@@ -110,6 +170,30 @@ mod tests {
     }
 
     #[test]
+    fn fft_acf_matches_direct_at_every_lag() {
+        let xs = daily(7, 0.4, 0.15);
+        let all = autocorrelation_all(&xs);
+        assert_eq!(all.len(), xs.len());
+        for lag in (0..xs.len()).step_by(37) {
+            let direct = autocorrelation(&xs, lag);
+            assert!(
+                (all[lag] - direct).abs() < 1e-9,
+                "lag {lag}: fft {} vs direct {direct}",
+                all[lag]
+            );
+        }
+    }
+
+    #[test]
+    fn fft_acf_degenerate_inputs() {
+        assert!(autocorrelation_all(&[]).is_empty());
+        assert_eq!(autocorrelation_all(&[2.0]), vec![1.0]);
+        let flat = autocorrelation_all(&[0.7; 50]);
+        assert_eq!(flat[0], 1.0);
+        assert!(flat[1..].iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
     fn acf_bounds_and_degenerates() {
         let xs = daily(7, 0.4, 0.1);
         for lag in [1usize, 10, 131, 500] {
@@ -136,9 +220,8 @@ mod tests {
         let cfg = AcfConfig::default();
         assert!(acf_diurnal(&daily(14, 0.4, 0.1), &cfg).diurnal);
         assert!(!acf_diurnal(&vec![0.6; 1_833], &cfg).diurnal);
-        let noise: Vec<f64> = (0..1_833)
-            .map(|i| ((i as f64 * 78.233).sin() * 43_758.545_3).fract())
-            .collect();
+        let noise: Vec<f64> =
+            (0..1_833).map(|i| ((i as f64 * 78.233).sin() * 43_758.545_3).fract()).collect();
         assert!(!acf_diurnal(&noise, &cfg).diurnal);
     }
 
@@ -166,7 +249,7 @@ mod tests {
         let xs: Vec<f64> = (0..n)
             .map(|i| {
                 let day = (i as f64 / RPD) as usize;
-                let amp = if day.is_multiple_of(2) { 0.35 } else { 0.15 };
+                let amp = if day % 2 == 0 { 0.35 } else { 0.15 };
                 let frac = (i as f64 / RPD).fract();
                 0.5 + if frac < 0.4 { amp } else { -amp }
             })

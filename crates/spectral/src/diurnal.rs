@@ -126,7 +126,11 @@ pub fn classify(spectrum: &Spectrum, cfg: &DiurnalConfig) -> DiurnalReport {
     let (fund_bin, fund_amp) = if base < nyq && base >= 1 {
         let a = spectrum.amplitude(base);
         let b = spectrum.amplitude(base + 1);
-        if b > a { (base + 1, b) } else { (base, a) }
+        if b > a {
+            (base + 1, b)
+        } else {
+            (base, a)
+        }
     } else if base <= nyq && base >= 1 {
         (base, spectrum.amplitude(base))
     } else {
@@ -156,10 +160,10 @@ pub fn classify(spectrum: &Spectrum, cfg: &DiurnalConfig) -> DiurnalReport {
             continue;
         }
         if is_harmonic(k, base, tol) {
-            if strongest_harmonic.is_none_or(|(_, a)| amp > a) {
+            if strongest_harmonic.map_or(true, |(_, a)| amp > a) {
                 strongest_harmonic = Some((k, amp));
             }
-        } else if strongest_competitor.is_none_or(|(_, a)| amp > a) {
+        } else if strongest_competitor.map_or(true, |(_, a)| amp > a) {
             strongest_competitor = Some((k, amp));
         }
     }
@@ -171,11 +175,9 @@ pub fn classify(spectrum: &Spectrum, cfg: &DiurnalConfig) -> DiurnalReport {
         DiurnalClass::NonDiurnal
     } else {
         let peak_at_fundamental = is_fundamental(global_max.0, base, tol);
-        let beats_competitor = strongest_competitor
-            .map(|(_, a)| fund_amp >= cfg.strict_ratio * a)
-            .unwrap_or(true);
-        let beats_harmonics =
-            strongest_harmonic.map(|(_, a)| fund_amp > a).unwrap_or(true);
+        let beats_competitor =
+            strongest_competitor.map(|(_, a)| fund_amp >= cfg.strict_ratio * a).unwrap_or(true);
+        let beats_harmonics = strongest_harmonic.map(|(_, a)| fund_amp > a).unwrap_or(true);
         if peak_at_fundamental && beats_competitor && beats_harmonics {
             DiurnalClass::Strict
         } else if peak_at_fundamental || first_harmonic_family(global_max.0) {

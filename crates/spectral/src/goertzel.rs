@@ -59,8 +59,8 @@ pub fn diurnal_energy_ratio(series: &[f64], sample_period: f64) -> f64 {
     let mean = series.iter().sum::<f64>() / n as f64;
     let dev: f64 = series.iter().map(|&x| (x - mean) * (x - mean)).sum();
     let total_ac = dev.sqrt() * (n as f64).sqrt(); // ≈ Σ_k≠0 |α_k|² scale, Parseval
-    // Constant series accumulate only rounding dust; treat it as zero AC
-    // energy rather than dividing by it.
+                                                   // Constant series accumulate only rounding dust; treat it as zero AC
+                                                   // energy rather than dividing by it.
     if total_ac <= 1e-9 * n as f64 * (mean.abs() + 1.0) {
         return 0.0;
     }
@@ -86,11 +86,7 @@ mod tests {
         let full = fft_real(&series);
         for k in [0usize, 1, 13, 14, 15, 28, 100] {
             let g = goertzel(&series, k);
-            assert!(
-                (g - full[k]).abs() < 1e-6 * n as f64,
-                "bin {k}: {g:?} vs {:?}",
-                full[k]
-            );
+            assert!((g - full[k]).abs() < 1e-6 * n as f64, "bin {k}: {g:?} vs {:?}", full[k]);
         }
     }
 

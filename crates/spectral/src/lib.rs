@@ -6,7 +6,10 @@
 //!
 //! * a from-scratch [FFT](mod@fft) (iterative radix-2 Cooley–Tukey, plus
 //!   Bluestein's algorithm so the awkward series lengths produced by
-//!   11-minute probing rounds transform exactly, not padded);
+//!   11-minute probing rounds transform exactly, not padded), backed by a
+//!   global cache of immutable [plans](mod@plan) so per-length setup work —
+//!   bit-reversal tables, twiddles, the pre-transformed Bluestein filter —
+//!   is paid once per process instead of once per transform;
 //! * [amplitude spectra](periodogram) with the paper's bin→frequency mapping
 //!   (`k / (R·n)` Hz for sampling period `R`);
 //! * the strict / relaxed [diurnal classifier](diurnal) and per-block
@@ -37,19 +40,22 @@
 #![warn(missing_docs)]
 
 pub mod acf;
+pub mod baseline;
 pub mod complex;
 pub mod diurnal;
 pub mod fft;
 pub mod goertzel;
 pub mod lombscargle;
 pub mod periodogram;
+pub mod plan;
 pub mod stationarity;
 
-pub use acf::{acf_diurnal, autocorrelation, AcfConfig, AcfReport};
+pub use acf::{acf_diurnal, autocorrelation, autocorrelation_all, AcfConfig, AcfReport};
 pub use complex::Complex;
 pub use diurnal::{classify, classify_series, DiurnalClass, DiurnalConfig, DiurnalReport};
 pub use fft::{dft_naive, fft, fft_real, ifft};
 pub use goertzel::{diurnal_energy_ratio, goertzel, goertzel_amplitude};
 pub use lombscargle::LombScargle;
 pub use periodogram::{Spectrum, DAY_SECONDS, ROUND_SECONDS};
+pub use plan::{plan_for, FftPlan};
 pub use stationarity::{linear_fit, trend, trend_default, TrendConfig, TrendReport};

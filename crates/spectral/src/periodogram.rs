@@ -8,6 +8,7 @@
 
 use crate::complex::Complex;
 use crate::fft::fft_real;
+use crate::plan::FftPlan;
 
 /// Default sampling period: one Trinocular round of 11 minutes (§2.2).
 pub const ROUND_SECONDS: f64 = 660.0;
@@ -38,6 +39,19 @@ impl Spectrum {
     /// Computes the spectrum assuming the paper's 11-minute rounds.
     pub fn compute_rounds(series: &[f64]) -> Self {
         Self::compute(series, ROUND_SECONDS)
+    }
+
+    /// Computes the spectrum through an explicit [`FftPlan`], for callers
+    /// that hold a plan across many same-length series (world runs). The
+    /// plain [`compute`](Self::compute) path already hits the global plan
+    /// cache; this variant merely skips the cache lookup.
+    ///
+    /// # Panics
+    /// Panics if `plan.len() != series.len()` or `sample_period <= 0`.
+    pub fn compute_with_plan(series: &[f64], sample_period: f64, plan: &FftPlan) -> Self {
+        assert!(sample_period > 0.0, "sample period must be positive");
+        assert_eq!(plan.len(), series.len(), "plan length mismatch");
+        Spectrum { coeffs: plan.fft_real(series), sample_period }
     }
 
     /// Number of input samples `n`.
@@ -99,9 +113,7 @@ impl Spectrum {
     /// shorter than 2 samples.
     pub fn strongest_bin(&self) -> Option<usize> {
         (1..=self.nyquist_bin()).max_by(|&a, &b| {
-            self.amplitude(a)
-                .partial_cmp(&self.amplitude(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            self.amplitude(a).partial_cmp(&self.amplitude(b)).unwrap_or(std::cmp::Ordering::Equal)
         })
     }
 
@@ -213,5 +225,24 @@ mod tests {
     #[should_panic(expected = "sample period")]
     fn rejects_nonpositive_period() {
         let _ = Spectrum::compute(&[1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    fn explicit_plan_matches_cached_path() {
+        let n = 1833;
+        let series = tone(n, 14.0, 0.3, 0.5);
+        let plan = crate::plan::plan_for(n);
+        let a = Spectrum::compute_rounds(&series);
+        let b = Spectrum::compute_with_plan(&series, ROUND_SECONDS, &plan);
+        for k in 0..n {
+            assert!((a.coeff(k) - b.coeff(k)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plan length mismatch")]
+    fn explicit_plan_rejects_wrong_length() {
+        let plan = crate::plan::plan_for(8);
+        let _ = Spectrum::compute_with_plan(&[1.0; 9], 1.0, &plan);
     }
 }

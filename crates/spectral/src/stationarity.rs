@@ -36,11 +36,7 @@ pub struct TrendConfig {
 
 impl Default for TrendConfig {
     fn default() -> Self {
-        TrendConfig {
-            sample_period: ROUND_SECONDS,
-            block_size: 256.0,
-            max_addresses_per_day: 1.0,
-        }
+        TrendConfig { sample_period: ROUND_SECONDS, block_size: 256.0, max_addresses_per_day: 1.0 }
     }
 }
 
@@ -156,7 +152,8 @@ mod tests {
 
     #[test]
     fn custom_config_changes_units() {
-        let cfg = TrendConfig { sample_period: 3600.0, block_size: 100.0, max_addresses_per_day: 10.0 };
+        let cfg =
+            TrendConfig { sample_period: 3600.0, block_size: 100.0, max_addresses_per_day: 10.0 };
         // slope 0.01/sample, 24 samples/day, 100 addrs → 24 addrs/day: fails.
         let series: Vec<f64> = (0..200).map(|i| 0.01 * i as f64).collect();
         let r = trend(&series, &cfg);

@@ -1,0 +1,83 @@
+//! Proves the steady-state plan APIs are allocation-free.
+//!
+//! A counting global allocator wraps `System`; each scenario plans and
+//! sizes its buffers up front, then asserts the allocation counter does not
+//! move across `process_with_scratch` / `inverse_with_scratch` /
+//! `real_with_scratch`. The counter is *thread-local* so the test harness's
+//! own threads (output capture, progress printing) cannot perturb the
+//! counted window.
+
+use sleepwatch_spectral::{plan_for, Complex};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+std::thread_local! {
+    // const-initialized: reading it from inside the allocator never
+    // triggers a lazy (allocating) initialization.
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn bump() {
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.with(|c| c.get())
+}
+
+fn assert_no_allocations(label: &str, mut f: impl FnMut()) {
+    // One warm-up call outside the counted window (lazy statics, cache
+    // population), then the counted steady-state calls.
+    f();
+    let before = allocations();
+    for _ in 0..8 {
+        f();
+    }
+    let after = allocations();
+    assert_eq!(after - before, 0, "{label}: steady state allocated {} times", after - before);
+}
+
+#[test]
+fn steady_state_transforms_do_not_allocate() {
+    // Radix-2 (2048), odd Bluestein (1833), even Bluestein (4582): the
+    // paper's lengths, covering every plan kind and the packed real path.
+    for n in [2_048usize, 1_833, 4_582] {
+        let plan = plan_for(n);
+        let series: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.5).collect();
+        let mut buf: Vec<Complex> = series.iter().map(|&x| Complex::from_re(x)).collect();
+        let mut out = vec![Complex::ZERO; n];
+        let mut scratch = vec![Complex::ZERO; plan.scratch_len()];
+        let mut real_scratch = vec![Complex::ZERO; plan.real_scratch_len()];
+
+        assert_no_allocations(&format!("forward n={n}"), || {
+            plan.process_with_scratch(&mut buf, &mut scratch);
+        });
+        assert_no_allocations(&format!("inverse n={n}"), || {
+            plan.inverse_with_scratch(&mut buf, &mut scratch);
+        });
+        assert_no_allocations(&format!("real n={n}"), || {
+            plan.real_with_scratch(&series, &mut out, &mut real_scratch);
+        });
+    }
+}

@@ -40,10 +40,7 @@ impl Term {
     /// Panics if the slices differ in length.
     pub fn interaction(name: impl Into<String>, a: &[f64], b: &[f64]) -> Term {
         assert_eq!(a.len(), b.len(), "interaction requires equal-length covariates");
-        Term {
-            name: name.into(),
-            columns: vec![a.iter().zip(b).map(|(&x, &y)| x * y).collect()],
-        }
+        Term { name: name.into(), columns: vec![a.iter().zip(b).map(|(&x, &y)| x * y).collect()] }
     }
 
     /// A categorical factor, dummy-coded with the first-seen level as the
@@ -281,8 +278,7 @@ mod tests {
         let n = 50;
         let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
         let b: Vec<f64> = (0..n).map(|i| (i % 4) as f64).collect();
-        let y: Vec<f64> =
-            (0..n).map(|i| 1.0 + a[i] * 0.5 - b[i] * 0.2 + noise(i) * 0.3).collect();
+        let y: Vec<f64> = (0..n).map(|i| 1.0 + a[i] * 0.5 - b[i] * 0.2 + noise(i) * 0.3).collect();
         let t = anova_pair(&y, "a", &a, "b", &b).unwrap();
         let ss_terms: f64 = t.rows.iter().map(|r| r.sum_sq).sum();
         assert!(
@@ -320,7 +316,8 @@ mod tests {
     #[test]
     fn categorical_factor_one_way() {
         // Classic one-way ANOVA with three clearly separated groups.
-        let labels: Vec<&str> = ["g1"; 10].iter().chain(["g2"; 10].iter()).chain(["g3"; 10].iter()).copied().collect();
+        let labels: Vec<&str> =
+            ["g1"; 10].iter().chain(["g2"; 10].iter()).chain(["g3"; 10].iter()).copied().collect();
         let y: Vec<f64> = (0..30)
             .map(|i| match i / 10 {
                 0 => 1.0 + 0.1 * noise(i),
@@ -340,11 +337,7 @@ mod tests {
         let n = 40;
         let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let y: Vec<f64> = (0..n).map(noise).collect();
-        let t = anova(
-            &y,
-            &[Term::continuous("x", &x), Term::continuous("x_again", &x)],
-        )
-        .unwrap();
+        let t = anova(&y, &[Term::continuous("x", &x), Term::continuous("x_again", &x)]).unwrap();
         assert_eq!(t.rows[0].df, 1);
         assert_eq!(t.rows[1].df, 0);
         assert!(t.rows[1].p.is_nan());

@@ -32,13 +32,7 @@ impl Fit {
 
     /// Predicted value for one observation's covariates.
     pub fn predict(&self, xs: &[f64]) -> f64 {
-        self.intercept
-            + self
-                .coefficients
-                .iter()
-                .zip(xs)
-                .map(|(&b, &x)| b * x)
-                .sum::<f64>()
+        self.intercept + self.coefficients.iter().zip(xs).map(|(&b, &x)| b * x).sum::<f64>()
     }
 }
 
@@ -92,8 +86,7 @@ pub fn fit(y: &[f64], columns: &[&[f64]]) -> Result<Fit, OlsError> {
             return Err(OlsError::LengthMismatch { column: i, got: col.len(), expected: n });
         }
     }
-    if !y.iter().all(|v| v.is_finite())
-        || !columns.iter().all(|c| c.iter().all(|v| v.is_finite()))
+    if !y.iter().all(|v| v.is_finite()) || !columns.iter().all(|c| c.iter().all(|v| v.is_finite()))
     {
         return Err(OlsError::NonFinite);
     }
@@ -145,11 +138,9 @@ pub fn fit(y: &[f64], columns: &[&[f64]]) -> Result<Fit, OlsError> {
     let mut pivot_row_for_col: Vec<Option<usize>> = vec![None; m];
     let mut rank = 1; // the intercept
     for c in 0..m {
-        let r = (0..m)
-            .filter(|&r| !used_row[r])
-            .max_by(|&a, &b| {
-                gm[a][c].abs().partial_cmp(&gm[b][c].abs()).unwrap_or(std::cmp::Ordering::Equal)
-            });
+        let r = (0..m).filter(|&r| !used_row[r]).max_by(|&a, &b| {
+            gm[a][c].abs().partial_cmp(&gm[b][c].abs()).unwrap_or(std::cmp::Ordering::Equal)
+        });
         let Some(r) = r else { continue };
         if gm[r][c].abs() <= PIVOT_TOL {
             continue; // aliased column: skip, rank unchanged
@@ -187,8 +178,7 @@ pub fn fit(y: &[f64], columns: &[&[f64]]) -> Result<Fit, OlsError> {
             coefficients[j] = beta_z[j] / scales[j];
         }
     }
-    let intercept =
-        y_mean - coefficients.iter().zip(&means).map(|(&b, &m)| b * m).sum::<f64>();
+    let intercept = y_mean - coefficients.iter().zip(&means).map(|(&b, &m)| b * m).sum::<f64>();
 
     let mut rss = 0.0;
     for i in 0..n {
@@ -236,8 +226,7 @@ mod tests {
         // GDP-like magnitudes next to unit-scale variables.
         let gdp: Vec<f64> = (0..40).map(|i| 3_000.0 + 1_200.0 * i as f64).collect();
         let frac: Vec<f64> = (0..40).map(|i| (i % 5) as f64 / 5.0).collect();
-        let y: Vec<f64> =
-            gdp.iter().zip(&frac).map(|(&g, &f)| 0.4 - 1e-5 * g + 0.2 * f).collect();
+        let y: Vec<f64> = gdp.iter().zip(&frac).map(|(&g, &f)| 0.4 - 1e-5 * g + 0.2 * f).collect();
         let f = fit(&y, &[&gdp, &frac]).unwrap();
         assert!((f.coefficients[0] + 1e-5).abs() < 1e-12);
         assert!((f.coefficients[1] - 0.2).abs() < 1e-9);

@@ -34,13 +34,14 @@ fn main() {
             .expect("block is analyzable");
     let run = prober.run(&block, 0, 7 * 131);
 
-    println!("\nweek of monitoring ({} probes, {:.1}/hour):", run.total_probes, run.probes_per_hour());
+    println!(
+        "\nweek of monitoring ({} probes, {:.1}/hour):",
+        run.total_probes,
+        run.probes_per_hour()
+    );
     for o in &run.outages {
         let end = o.end_round.map(|e| e.to_string()).unwrap_or_else(|| "ongoing".into());
-        println!(
-            "  outage: rounds {}..{} (injected at {})",
-            o.start_round, end, outage_start
-        );
+        println!("  outage: rounds {}..{} (injected at {})", o.start_round, end, outage_start);
     }
     assert!(!run.outages.is_empty(), "the injected outage must be found");
 

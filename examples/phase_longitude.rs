@@ -14,8 +14,7 @@ use sleepwatch::stats::DensityGrid;
 use std::f64::consts::PI;
 
 fn main() {
-    let blocks: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2_000);
+    let blocks: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2_000);
     let days = 14.0;
 
     let world = World::generate(WorldConfig {
@@ -46,8 +45,8 @@ fn main() {
             let lvl = if c == 0 {
                 0
             } else {
-                (((c as f64).ln_1p() / (max as f64).ln_1p()) * (SHADES.len() - 1) as f64)
-                    .ceil() as usize
+                (((c as f64).ln_1p() / (max as f64).ln_1p()) * (SHADES.len() - 1) as f64).ceil()
+                    as usize
             };
             line.push(SHADES[lvl.min(SHADES.len() - 1)] as char);
         }

@@ -52,10 +52,9 @@ fn main() {
         analysis.trend.stationary, analysis.trend.addresses_per_day
     );
 
-    assert!(
-        analysis.diurnal.class.is_diurnal(),
-        "a 160/200 diurnal block must be detected"
+    assert!(analysis.diurnal.class.is_diurnal(), "a 160/200 diurnal block must be detected");
+    println!(
+        "\nThe block sleeps at night — detected from ~{:.0} probes/hour.",
+        analysis.run.probes_per_hour()
     );
-    println!("\nThe block sleeps at night — detected from ~{:.0} probes/hour.",
-        analysis.run.probes_per_hour());
 }

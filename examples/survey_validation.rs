@@ -15,8 +15,7 @@ use sleepwatch::spectral::DiurnalConfig;
 use sleepwatch::stats::pearson;
 
 fn main() {
-    let blocks: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(150);
+    let blocks: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(150);
     let rounds = 1_833u64; // two weeks of 11-minute rounds
 
     let world = World::generate(WorldConfig {
@@ -69,6 +68,9 @@ fn main() {
     println!("\ndiurnal confusion (truth × prediction):");
     println!("  d→d̂ {tp:>5}   d→n̂ {fneg:>5}");
     println!("  n→d̂ {fp:>5}   n→n̂ {tn:>5}");
-    println!("precision {:.1}%  accuracy {:.1}%  (paper: 82.5% / 91.0%)",
-        100.0 * precision, 100.0 * accuracy);
+    println!(
+        "precision {:.1}%  accuracy {:.1}%  (paper: 82.5% / 91.0%)",
+        100.0 * precision,
+        100.0 * accuracy
+    );
 }

@@ -13,8 +13,7 @@ use sleepwatch::simnet::{World, WorldConfig};
 use sleepwatch::stats::linfit;
 
 fn main() {
-    let blocks: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1_500);
+    let blocks: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1_500);
     let days = 14.0;
 
     let world = World::generate(WorldConfig {
@@ -39,7 +38,10 @@ fn main() {
         println!("{:<6}{:>8}{:>10.3}{:>12.0}", s.code, s.blocks, s.frac_diurnal, s.gdp);
     }
     if let Some(us) = stats.iter().find(|s| s.code == "US") {
-        println!("{:<6}{:>8}{:>10.3}{:>12.0}   (comparison)", us.code, us.blocks, us.frac_diurnal, us.gdp);
+        println!(
+            "{:<6}{:>8}{:>10.3}{:>12.0}   (comparison)",
+            us.code, us.blocks, us.frac_diurnal, us.gdp
+        );
     }
 
     println!("\nby region (ascending):");

@@ -1,0 +1,310 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the subset of the Criterion API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with genuine wall-clock measurement:
+//! a warm-up phase sizes the iteration count, then several sample batches
+//! are timed and the per-iteration mean, median-of-batches, and min are
+//! reported. There are no plots, no statistical regression tests, and no
+//! saved baselines; output goes to stdout in a stable parseable format:
+//!
+//! ```text
+//! bench-name              time: [min 1.234 µs  med 1.301 µs  mean 1.310 µs]  (N iters)
+//! ```
+//!
+//! CLI behaviour: a non-flag argument filters benchmarks by substring
+//! (like Criterion); `--test` (passed by `cargo test --benches`) runs each
+//! benchmark body once without measurement; other flags are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(400);
+/// Number of timed batches per benchmark.
+const BATCHES: usize = 10;
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| name.contains(f))
+    }
+
+    /// Benchmarks `f` under `id` (a string or [`BenchmarkId`]).
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into().full_name;
+        if self.enabled(&name) {
+            run_one(&name, self.test_mode, &mut f);
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, group: name.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    fn qualified(&self, id: BenchmarkId) -> String {
+        format!("{}/{}", self.group, id.full_name)
+    }
+
+    /// Benchmarks `f` under this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = self.qualified(id.into());
+        if self.criterion.enabled(&name) {
+            run_one(&name, self.criterion.test_mode, &mut f);
+        }
+        self
+    }
+
+    /// Benchmarks `f` with an input value threaded through.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let name = self.qualified(id.into());
+        if self.criterion.enabled(&name) {
+            run_one(&name, self.criterion.test_mode, &mut |b: &mut Bencher| f(b, input));
+        }
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full_name: String,
+}
+
+impl BenchmarkId {
+    /// An id `"{name}/{parameter}"`.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId { full_name: format!("{name}/{parameter}") }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { full_name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full_name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full_name: s }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] measures the routine.
+pub struct Bencher {
+    mode: Mode,
+    report: Option<Report>,
+}
+
+enum Mode {
+    /// Run the routine once, unmeasured (`--test`).
+    Smoke,
+    /// Measure properly.
+    Measure,
+}
+
+struct Report {
+    iters_per_batch: u64,
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records per-iteration timing.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure => {
+                // Warm-up: find an iteration count filling the target time.
+                let mut iters: u64 = 1;
+                let per_iter = loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= Duration::from_millis(50) || iters >= (1 << 30) {
+                        break elapsed / iters.max(1) as u32;
+                    }
+                    iters = iters.saturating_mul(4);
+                };
+                let batch_iters = (TARGET_SAMPLE_TIME.as_nanos() / BATCHES as u128)
+                    .checked_div(per_iter.as_nanos().max(1))
+                    .unwrap_or(1)
+                    .max(1) as u64;
+
+                let mut samples: Vec<Duration> = (0..BATCHES)
+                    .map(|_| {
+                        let start = Instant::now();
+                        for _ in 0..batch_iters {
+                            black_box(routine());
+                        }
+                        start.elapsed() / batch_iters as u32
+                    })
+                    .collect();
+                samples.sort();
+                let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+                self.report = Some(Report {
+                    iters_per_batch: batch_iters,
+                    min: samples[0],
+                    median: samples[samples.len() / 2],
+                    mean,
+                });
+            }
+        }
+    }
+}
+
+fn run_one(name: &str, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { mode: if test_mode { Mode::Smoke } else { Mode::Measure }, report: None };
+    f(&mut b);
+    match b.report {
+        Some(r) => println!(
+            "{name:<44} time: [min {}  med {}  mean {}]  ({} iters/batch)",
+            fmt_dur(r.min),
+            fmt_dur(r.median),
+            fmt_dur(r.mean),
+            r.iters_per_batch,
+        ),
+        None => println!("{name:<44} ok (smoke)"),
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_smoke_runs_once() {
+        let mut c = Criterion { filter: None, test_mode: true };
+        let mut count = 0;
+        c.bench_function("counted", |b| {
+            b.iter(|| count += 1);
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("match-me".into()), test_mode: true };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+        c.bench_function("match-me/42", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_qualifies_names_and_measures() {
+        let mut c = Criterion { filter: None, test_mode: false };
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("double", 21), &21u64, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("fft", 2048).full_name, "fft/2048");
+        assert_eq!(BenchmarkId::from_parameter(7).full_name, "7");
+        assert_eq!(BenchmarkId::from("plain").full_name, "plain");
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Only the `crossbeam::thread::scope` API the workspace uses is provided,
+//! implemented over `std::thread::scope` (stable since Rust 1.63). The one
+//! behavioural difference: a panicking child thread propagates its panic when
+//! the scope exits instead of surfacing as `Err` — callers here `.expect()`
+//! the result anyway, so the failure mode is the same abort-with-message.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (shim over [`std::thread::scope`]).
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, allowing
+        /// nested spawns, exactly like crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment can
+    /// be spawned; joins them all before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_borrowing_threads() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        super::thread::scope(|s| {
+            for &x in &data {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(x, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

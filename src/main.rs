@@ -53,7 +53,9 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Args {
     let mut a = Args::default();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--blocks" => a.blocks = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--blocks" => {
+                a.blocks = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
             "--days" => a.days = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
             "--seed" => a.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
             "--threads" => {
@@ -85,7 +87,7 @@ fn cmd_analyze(a: &Args) -> ExitCode {
     }
     eprintln!("analyzing {} blocks over {} days…", a.blocks, a.days);
     let progress = |done: usize, total: usize| {
-        if done.is_multiple_of(2_000) {
+        if done % 2_000 == 0 {
             eprintln!("  {done}/{total}");
         }
     };
@@ -100,7 +102,10 @@ fn cmd_analyze(a: &Args) -> ExitCode {
 
     println!("\ntop countries by diurnal fraction (≥20 blocks):");
     for s in analysis.country_stats(20).iter().take(10) {
-        println!("  {:<4}{:>7} blocks  {:>7.3}  (GDP ${:.0})", s.code, s.blocks, s.frac_diurnal, s.gdp);
+        println!(
+            "  {:<4}{:>7} blocks  {:>7.3}  (GDP ${:.0})",
+            s.code, s.blocks, s.frac_diurnal, s.gdp
+        );
     }
 
     let size = estimate_size(&analysis);

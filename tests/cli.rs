@@ -86,12 +86,7 @@ fn experiments_list_covers_the_paper() {
 fn experiments_runs_a_figure_and_writes_csv() {
     let dir = std::env::temp_dir().join(format!("swtest-{}", std::process::id()));
     let Some(mut cmd) = bin("experiments") else { return };
-    let out = cmd
-        .args(["--scale", "0.02", "--out"])
-        .arg(&dir)
-        .arg("fig1")
-        .output()
-        .expect("spawn");
+    let out = cmd.args(["--scale", "0.02", "--out"]).arg(&dir).arg("fig1").output().expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Fig. 1"), "{text}");

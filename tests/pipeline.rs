@@ -30,8 +30,7 @@ fn survey_and_adaptive_paths_agree_on_diurnality() {
     // Ground truth via survey.
     let survey = survey_block(&block, 0, rounds);
     let truth = survey.availability_series();
-    let (truth_rep, _) =
-        sleepwatch::core::analyze_series(&truth, &Default::default());
+    let (truth_rep, _) = sleepwatch::core::analyze_series(&truth, &Default::default());
     assert!(truth_rep.class.is_diurnal(), "survey path: {:?}", truth_rep.class);
 
     // Lightweight path via the pipeline.
