@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use sleepwatch_availability::{
-    cleaning::{bucket_rounds, fill_gaps, midnight_trim},
+    cleaning::{bucket_rounds, clean_series, fill_gaps, midnight_trim},
     AvailabilityEstimator, EwmaConfig,
 };
 
@@ -92,6 +92,110 @@ proptest! {
             prop_assert!(t0 % 86_400 < 660, "{}", t0 % 86_400);
             // The kept span covers at least one whole day.
             prop_assert!(r.len() as u64 * 660 >= 86_400 - 660);
+        }
+    }
+
+    // --- uncovered edges: empty / all-missing input ---
+
+    #[test]
+    fn empty_observations_clean_to_all_interpolated_zeros(
+        n in 1usize..4_000,
+        start in 0u64..2_000_000_000,
+    ) {
+        // No observation at all: every round is interpolated (fill
+        // fraction 1) and the series is the zero fill, trimmed.
+        let (series, fill) = clean_series(&[], n, start, 660);
+        prop_assert_eq!(fill, 1.0);
+        prop_assert!(series.iter().all(|&v| v == 0.0));
+        prop_assert_eq!(series.len(), midnight_trim(start, n, 660).len());
+    }
+
+    #[test]
+    fn zero_rounds_is_a_clean_empty_series(start in 0u64..2_000_000_000) {
+        // Degenerate request: nothing to clean, and no division by the
+        // zero round count.
+        let (series, fill) = clean_series(&[(0, 0.5)], 0, start, 660);
+        prop_assert!(series.is_empty());
+        prop_assert_eq!(fill, 0.0);
+    }
+
+    #[test]
+    fn all_out_of_range_observations_act_as_missing(
+        n in 1usize..500,
+        extra in 0u64..1_000,
+        v in 0.0f64..1.0,
+    ) {
+        // Every observation beyond the round horizon is dropped, leaving
+        // an effectively all-missing series.
+        let obs = [(n as u64 + extra, v)];
+        let b = bucket_rounds(&obs, n);
+        prop_assert!(b.iter().all(Option::is_none));
+        let (dense, filled) = fill_gaps(&b);
+        prop_assert_eq!(filled, n);
+        prop_assert!(dense.iter().all(|&x| x == 0.0));
+    }
+
+    // --- uncovered edges: duplicate timestamps at the series boundary ---
+
+    #[test]
+    fn duplicates_at_first_and_last_round_keep_latest(
+        n in 2usize..400,
+        early in 0.0f64..1.0,
+        late in 0.0f64..1.0,
+    ) {
+        let last = n as u64 - 1;
+        // Duplicates at both boundary rounds, plus one exactly past the
+        // end (must be dropped, not wrapped or clamped into range).
+        let obs = [(0u64, early), (0, late), (last, early), (last, late), (n as u64, 0.99)];
+        let b = bucket_rounds(&obs, n);
+        prop_assert_eq!(b[0], Some(late), "first round keeps input-latest duplicate");
+        prop_assert_eq!(b[n - 1], Some(late), "last round keeps input-latest duplicate");
+        prop_assert!(b[1..n - 1].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn duplicate_heavy_streams_never_change_series_shape(
+        n in 1usize..300,
+        dups in 1usize..6,
+        v in 0.0f64..1.0,
+    ) {
+        // Every round duplicated `dups` times: shape and fill fraction
+        // must match the duplicate-free stream exactly.
+        let mut obs = Vec::new();
+        for r in 0..n as u64 {
+            for d in 0..dups {
+                obs.push((r, v * (d + 1) as f64 / dups as f64));
+            }
+        }
+        let (series, fill) = clean_series(&obs, n, 0, 660);
+        prop_assert_eq!(fill, 0.0, "duplicates must not count as gaps");
+        prop_assert_eq!(series.len(), midnight_trim(0, n, 660).len());
+        // The kept value is the last duplicate, i.e. the full `v`.
+        prop_assert!(series.iter().all(|&x| (x - v).abs() < 1e-12));
+    }
+
+    // --- uncovered edges: run starting exactly at midnight ---
+
+    #[test]
+    fn midnight_aligned_start_keeps_the_first_sample(
+        days in 1usize..40,
+        extra in 0usize..131,
+    ) {
+        // 86 400 / 660 is not an integer (130.9 rounds/day), so a
+        // midnight-aligned start must anchor the trim at index 0 rather
+        // than skipping to the *next* midnight.
+        let start = 1_353_024_000u64; // 2012-11-16 00:00:00 UTC
+        prop_assert_eq!(start % 86_400, 0);
+        let len = days * 131 + extra;
+        let r = midnight_trim(start, len, 660);
+        if !r.is_empty() {
+            prop_assert_eq!(r.start, 0, "aligned start must not be trimmed away");
+            // End lands strictly before the last midnight in range.
+            let t_last = start + (r.end as u64 - 1) * 660;
+            prop_assert!(86_400 - (t_last % 86_400) <= 660);
+        } else {
+            // Only when the series spans less than one full day.
+            prop_assert!(len as u64 * 660 < 2 * 86_400);
         }
     }
 }

@@ -6,7 +6,7 @@
 //! phase from the spectrum (§2.2), with the stationarity screen alongside.
 
 use sleepwatch_availability::cleaning::clean_series;
-use sleepwatch_probing::{BlockRun, TrinocularConfig, TrinocularProber};
+use sleepwatch_probing::{BlockRun, FaultPlan, TrinocularConfig, TrinocularProber};
 use sleepwatch_simnet::{BlockSpec, ROUND_SECONDS};
 use sleepwatch_spectral::{
     classify, plan_for, trend_default, DiurnalClass, DiurnalConfig, DiurnalReport, Spectrum,
@@ -27,6 +27,9 @@ pub struct AnalysisConfig {
     /// Reject classification when more than this fraction of rounds had to
     /// be interpolated.
     pub max_fill_fraction: f64,
+    /// Injected measurement faults ([`FaultPlan::none`] by default — the
+    /// zero-cost path, byte-identical to a fault-free run).
+    pub faults: FaultPlan,
 }
 
 impl AnalysisConfig {
@@ -39,6 +42,7 @@ impl AnalysisConfig {
             start_time,
             rounds: (days * 86_400.0 / ROUND_SECONDS as f64).round() as u64,
             max_fill_fraction: 0.25,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -94,7 +98,7 @@ pub fn analyze_series(series: &[f64], cfg: &DiurnalConfig) -> (DiurnalReport, Tr
 /// Runs the full pipeline over one block.
 pub fn analyze_block(block: &BlockSpec, cfg: &AnalysisConfig) -> BlockAnalysis {
     let mut prober = TrinocularProber::new(block, cfg.trinocular);
-    let run = prober.run(block, cfg.start_time, cfg.rounds);
+    let run = prober.run_with_faults(block, cfg.start_time, cfg.rounds, &cfg.faults);
     let (series, fill_fraction) = clean_series(
         &run.a_short_observations(),
         cfg.rounds as usize,

@@ -307,4 +307,130 @@ mod tests {
     fn rejects_tiny_window() {
         let _ = OnlineDetector::new(OnlineConfig { window_rounds: 2, ..Default::default() });
     }
+
+    /// Feeds a raw-verdict sequence through the hysteresis filter and
+    /// returns the rounds-between-flips of the public classification.
+    fn flip_gaps(hysteresis: u32, raw: &[DiurnalClass]) -> Vec<usize> {
+        let mut det = OnlineDetector::new(OnlineConfig {
+            window_rounds: 8,
+            hysteresis,
+            ..Default::default()
+        });
+        let mut last_class = det.class();
+        let mut last_flip = 0usize;
+        let mut gaps = Vec::new();
+        for (i, &c) in raw.iter().enumerate() {
+            det.apply_verdict(c, None);
+            if det.class() != last_class {
+                gaps.push(i - last_flip);
+                last_flip = i;
+                last_class = det.class();
+            }
+        }
+        gaps
+    }
+
+    #[test]
+    fn verdicts_never_flap_faster_than_the_hysteresis_window() {
+        use DiurnalClass::*;
+        // A block flipping diurnal → flat → diurnal, with single-round
+        // noise sprinkled in: adversarial input for the filter.
+        let mut raw = Vec::new();
+        raw.extend(std::iter::repeat(Strict).take(10));
+        raw.push(NonDiurnal); // one-round dropout
+        raw.extend(std::iter::repeat(Strict).take(5));
+        raw.extend(std::iter::repeat(NonDiurnal).take(10));
+        raw.push(Strict); // one-round blip
+        raw.extend(std::iter::repeat(NonDiurnal).take(5));
+        raw.extend(std::iter::repeat(Strict).take(10));
+        for h in [2u32, 3, 5] {
+            let gaps = flip_gaps(h, &raw);
+            // After the first flip, consecutive public flips must be at
+            // least the hysteresis window apart: a change needs h
+            // consecutive identical raw verdicts to take effect.
+            for &g in gaps.iter().skip(1) {
+                assert!(g >= h as usize, "hysteresis {h}: public class flipped after {g} rounds");
+            }
+        }
+    }
+
+    #[test]
+    fn single_round_flips_are_invisible_above_hysteresis_one() {
+        use DiurnalClass::*;
+        // Strictly alternating raw verdicts: with hysteresis ≥ 2 the
+        // public class must never move at all.
+        let raw: Vec<DiurnalClass> =
+            (0..40).map(|i| if i % 2 == 0 { Strict } else { NonDiurnal }).collect();
+        assert!(flip_gaps(2, &raw).is_empty(), "alternating verdicts leaked through");
+        // With hysteresis 1 the same stream flaps constantly — the
+        // difference is exactly what the filter is for.
+        assert!(flip_gaps(1, &raw).len() > 10);
+    }
+
+    #[test]
+    fn hysteresis_delays_but_does_not_lose_real_changes() {
+        use DiurnalClass::*;
+        let mut raw = Vec::new();
+        raw.extend(std::iter::repeat(Strict).take(8));
+        raw.extend(std::iter::repeat(NonDiurnal).take(8));
+        raw.extend(std::iter::repeat(Strict).take(8));
+        let mut det = OnlineDetector::new(OnlineConfig {
+            window_rounds: 8,
+            hysteresis: 3,
+            ..Default::default()
+        });
+        let mut classes = Vec::new();
+        for &c in &raw {
+            det.apply_verdict(c, if c == Strict { Some(0.3) } else { None });
+            classes.push(det.class());
+        }
+        // All three phases eventually surface...
+        assert_eq!(classes[7], Strict);
+        assert_eq!(classes[15], NonDiurnal);
+        assert_eq!(classes[23], Strict);
+        // ...each exactly hysteresis−1 verdicts late (the change lands on
+        // the 3rd consecutive new verdict).
+        assert_eq!(classes[8 + 1], Strict, "still old class one verdict in");
+        assert_eq!(classes[8 + 2], NonDiurnal, "flips on the 3rd new verdict");
+    }
+
+    #[test]
+    fn end_to_end_flap_rate_is_bounded_on_flipping_input() {
+        // Full detector path (window + reclassify + hysteresis): a block
+        // that is diurnal for 10 days, flat for 10, diurnal for 10 again
+        // must produce at most a handful of public transitions — never a
+        // flap per reclassification.
+        let cfg = OnlineConfig { hysteresis: 2, ..small_cfg() };
+        let reclassify = cfg.reclassify_every;
+        let mut det = OnlineDetector::new(cfg);
+        let phase_len = (10.0 * RPD) as usize;
+        let mut flips = Vec::new();
+        let mut last = det.class();
+        for r in 0..3 * phase_len {
+            let v = match r / phase_len {
+                0 | 2 => diurnal_value(r),
+                _ => 0.55,
+            };
+            det.push_value(v);
+            if det.class() != last {
+                flips.push(r);
+                last = det.class();
+            }
+        }
+        assert!(
+            (2..=6).contains(&flips.len()),
+            "expected a few genuine transitions, saw {} at {flips:?}",
+            flips.len()
+        );
+        // Consecutive flips are at least hysteresis reclassification
+        // periods apart.
+        for w in flips.windows(2) {
+            assert!(
+                w[1] - w[0] >= 2 * reclassify,
+                "public flips {} and {} closer than the hysteresis window",
+                w[0],
+                w[1]
+            );
+        }
+    }
 }

@@ -11,7 +11,10 @@
 //! * [`survey`]: full enumeration of every address every round — the
 //!   ground-truth datasets the validation section compares against.
 //!
-//! [`record`] holds the observation types both produce.
+//! [`record`] holds the observation types both produce, and [`faults`]
+//! injects deterministic measurement failures (loss bursts, blackouts,
+//! restart storms, truncation, record corruption, address churn) into
+//! either mode for stress testing.
 //!
 //! # Example
 //!
@@ -30,13 +33,15 @@
 #![warn(missing_docs)]
 
 pub mod census;
+pub mod faults;
 pub mod multisite;
 pub mod record;
 pub mod survey;
 pub mod trinocular;
 
 pub use census::{run_census, CensusConfig, CensusRecord};
+pub use faults::{Blackout, EChurn, FaultPlan, LossBurst, RestartStorm};
 pub use multisite::{agreement, merge_states, merged_outages, MergedOutage, MergedState};
 pub use record::{BlockRun, RoundRecord};
-pub use survey::{survey_block, SurveyResult};
+pub use survey::{survey_block, survey_block_with_faults, SurveyResult};
 pub use trinocular::{BlockState, OutageEvent, TrinocularConfig, TrinocularProber};

@@ -3,7 +3,7 @@
 use crate::trinocular::{BlockState, OutageEvent};
 
 /// One round's observation of one block.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundRecord {
     /// Round index since measurement start.
     pub round: u64,

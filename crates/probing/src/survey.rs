@@ -6,6 +6,7 @@
 //! that answered in round `t`. The validation experiments (§3) compare the
 //! adaptive estimators against these measurements.
 
+use crate::faults::{burst_loses_response, FaultPlan};
 use sleepwatch_simnet::{BlockSpec, ROUND_SECONDS};
 
 /// Result of surveying one block.
@@ -52,17 +53,46 @@ impl SurveyResult {
 
 /// Surveys `block` for `rounds` rounds starting at `start_time`.
 pub fn survey_block(block: &BlockSpec, start_time: u64, rounds: u64) -> SurveyResult {
+    survey_block_with_faults(block, start_time, rounds, &FaultPlan::none())
+}
+
+/// [`survey_block`] under an injected fault regime. Surveys see the
+/// collection-side faults — correlated loss bursts, vantage blackouts
+/// (rounds recorded with zero responders) and truncation; prober-specific
+/// mechanisms (restarts, walk churn, record corruption) don't apply to
+/// full enumeration and are ignored. The empty plan takes the identical
+/// code path and draws nothing extra.
+pub fn survey_block_with_faults(
+    block: &BlockSpec,
+    start_time: u64,
+    rounds: u64,
+    plan: &FaultPlan,
+) -> SurveyResult {
     let mut responders = Vec::with_capacity(rounds as usize);
     let mut ever = [false; 256];
     // Probing all 256 is the survey's definition, but inactive addresses
     // can never respond in this world — skipping them changes no output,
     // only wall-clock. Keep the full-space accounting for the probe budget.
     let active = block.ever_active_addrs();
+    let mut surveyed = 0u64;
     for r in 0..rounds {
+        if plan.truncates_at(r) {
+            break;
+        }
+        surveyed += 1;
         let time = start_time + r * ROUND_SECONDS;
+        if plan.blacked_out(r) {
+            // Probes were sent but every response vanished with the
+            // vantage: the round books as fully silent.
+            responders.push(0);
+            continue;
+        }
+        let loss = plan.loss_at(block.id, r);
         let mut count = 0u32;
         for &addr in &active {
-            if block.probe(addr, time) {
+            if block.probe(addr, time)
+                && !burst_loses_response(plan.seed, loss, block.id, addr, time)
+            {
                 count += 1;
                 ever[addr as usize] = true;
             }
@@ -71,10 +101,10 @@ pub fn survey_block(block: &BlockSpec, start_time: u64, rounds: u64) -> SurveyRe
     }
     SurveyResult {
         block_id: block.id,
-        rounds,
+        rounds: surveyed,
         responders,
         ever_responded: ever,
-        total_probes: 256 * rounds,
+        total_probes: 256 * surveyed,
     }
 }
 

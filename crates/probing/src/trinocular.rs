@@ -16,6 +16,7 @@
 //!   corrects;
 //! * beliefs are capped below 1 so the prober can always change its mind.
 
+use crate::faults::FaultPlan;
 use crate::record::{BlockRun, RoundRecord};
 use sleepwatch_availability::{AvailabilityEstimator, EwmaConfig};
 use sleepwatch_geoecon::rng::KeyedRng;
@@ -221,7 +222,7 @@ impl TrinocularProber {
     /// returning the round's record (or `None` when the block has no
     /// ever-active addresses to probe).
     pub fn round(&mut self, block: &BlockSpec, round: u64, time: u64) -> Option<RoundRecord> {
-        self.round_inner(block, round, time, false)
+        self.round_inner(block, round, time, false, None)
     }
 
     fn round_inner(
@@ -230,6 +231,10 @@ impl TrinocularProber {
         round: u64,
         time: u64,
         restart_dropped_probe: bool,
+        // Injected correlated loss: `(plan seed, loss rate)` when a fault
+        // burst covers this round. `None` draws nothing — the fault-free
+        // path is bit-identical to the pre-fault-layer code.
+        burst_loss: Option<(u64, f64)>,
     ) -> Option<RoundRecord> {
         if self.walk.is_empty() {
             return None;
@@ -259,6 +264,13 @@ impl TrinocularProber {
                 );
                 if lost {
                     outcome = ProbeOutcome::Timeout;
+                }
+            }
+            if outcome == ProbeOutcome::Reply {
+                if let Some((plan_seed, rate)) = burst_loss {
+                    if crate::faults::burst_loses_response(plan_seed, rate, block.id, addr, time) {
+                        outcome = ProbeOutcome::Timeout;
+                    }
                 }
             }
             let positive = outcome.is_positive();
@@ -325,8 +337,31 @@ impl TrinocularProber {
     /// rounds some blocks lose the round's observation entirely (a gap the
     /// §2.2 cleaning must extrapolate over).
     pub fn run(&mut self, block: &BlockSpec, start_time: u64, rounds: u64) -> BlockRun {
+        self.run_with_faults(block, start_time, rounds, &FaultPlan::none())
+    }
+
+    /// [`run`](Self::run) under an injected fault regime. The empty plan
+    /// ([`FaultPlan::none`]) takes the identical code path and draws no
+    /// extra randomness, so its output is byte-identical to `run` — the
+    /// golden suite pins this.
+    pub fn run_with_faults(
+        &mut self,
+        block: &BlockSpec,
+        start_time: u64,
+        rounds: u64,
+        plan: &FaultPlan,
+    ) -> BlockRun {
         let mut records = Vec::with_capacity(rounds as usize);
         for r in 0..rounds {
+            if plan.truncates_at(r) {
+                break; // collection died; nothing more arrives
+            }
+            if let Some(churn) = plan.churn_at(r) {
+                self.churn_walk(block, plan, churn.fraction);
+            }
+            if plan.blacked_out(r) {
+                continue; // the vantage saw nothing this round
+            }
             let time = start_time + r * ROUND_SECONDS;
             let restarting = self.cfg.restart_interval_rounds.is_some_and(|k| r > 0 && r % k == 0);
             let mut dropped_probe = false;
@@ -340,11 +375,51 @@ impl TrinocularProber {
                 }
                 dropped_probe = rng.chance(self.cfg.restart_negative_chance);
             }
-            if let Some(rec) = self.round_inner(block, r, time, dropped_probe) {
+            if let Some((lost, dropped)) = plan.storm_restart_at(block.id, r) {
+                // An extra, unscheduled restart on top of the configured
+                // cadence — same loss semantics.
+                if lost {
+                    continue;
+                }
+                dropped_probe |= dropped;
+            }
+            let burst = match plan.loss_at(block.id, r) {
+                rate if rate > 0.0 => Some((plan.seed, rate)),
+                _ => None,
+            };
+            if let Some(rec) = self.round_inner(block, r, time, dropped_probe, burst) {
                 records.push(rec);
             }
         }
-        BlockRun::new(block.id, rounds, records, self.outages.clone(), self.total_probes)
+        plan.mangle_records(block.id, &mut records);
+        if plan.mangles_order() {
+            // Duplicated/reordered streams legitimately violate the
+            // strict-ascending invariant `BlockRun::new` asserts; build
+            // the run directly and let downstream cleaning cope.
+            BlockRun {
+                block_id: block.id,
+                rounds,
+                records,
+                outages: self.outages.clone(),
+                total_probes: self.total_probes,
+            }
+        } else {
+            BlockRun::new(block.id, rounds, records, self.outages.clone(), self.total_probes)
+        }
+    }
+
+    /// Rewrites a keyed fraction of the walk with arbitrary octets,
+    /// modelling mid-run `E(b)` churn (renumbering under stale census
+    /// data). Replacement octets may be inactive addresses.
+    fn churn_walk(&mut self, block: &BlockSpec, plan: &FaultPlan, fraction: f64) {
+        if self.walk.is_empty() {
+            return;
+        }
+        let n = ((self.walk.len() as f64 * fraction).round() as usize).min(self.walk.len());
+        for draw in 0..n {
+            let (slot, octet) = plan.churn_slot(block.id, draw as u64, self.walk.len());
+            self.walk[slot] = octet;
+        }
     }
 }
 

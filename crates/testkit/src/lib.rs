@@ -1,0 +1,24 @@
+//! Test harness for the sleepwatch pipeline.
+//!
+//! Three layers, each usable from any crate's test suite:
+//!
+//! * [`golden`] — byte-for-byte conformance against recorded reports under
+//!   `tests/goldens/`, with an `UPDATE_GOLDENS=1` regeneration path;
+//! * [`fixtures`] — deterministic worlds and blocks shared by the suites;
+//! * [`oracles`] — differential cross-checks of independent
+//!   implementations of the same quantity (batch vs streaming
+//!   classification, planned vs baseline FFT kernels, survey truth vs
+//!   adaptive confusion), runnable under every
+//!   [`FaultPlan`](sleepwatch_probing::FaultPlan) preset;
+//! * [`metamorphic`] — input transformations with provable output effects
+//!   (rotation ⇒ exact phase advance, scaling/permutation ⇒ invariance).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixtures;
+pub mod golden;
+pub mod metamorphic;
+pub mod oracles;
+
+pub use golden::{assert_golden, golden_threads, goldens_dir};

@@ -1,0 +1,43 @@
+//! Golden-report conformance: the world-run dataset must reproduce
+//! byte-for-byte against the recorded golden, at every thread count.
+
+use sleepwatch_testkit::{assert_golden, fixtures, golden_threads};
+
+/// The canonical world-run TSV is byte-identical to the recorded golden
+/// and identical across 1/4/8 worker threads.
+#[test]
+fn world_dataset_matches_golden_across_threads() {
+    let threads = golden_threads();
+    assert!(!threads.is_empty(), "GOLDEN_THREADS parsed to nothing");
+    let reference = fixtures::world_dataset_tsv(threads[0]);
+    for &t in &threads[1..] {
+        let tsv = fixtures::world_dataset_tsv(t);
+        assert_eq!(reference, tsv, "world dataset differs between {} and {t} threads", threads[0]);
+    }
+    assert_golden("world_small.tsv", &reference);
+}
+
+/// The same world under the combined conformance fault regime: the fault
+/// layer itself must be deterministic and thread-count independent, and
+/// its output is pinned so fault-draw keying can never drift silently.
+#[test]
+fn faulted_world_dataset_matches_golden_across_threads() {
+    let threads = golden_threads();
+    let reference = fixtures::faulted_world_dataset_tsv(threads[0]);
+    for &t in &threads[1..] {
+        let tsv = fixtures::faulted_world_dataset_tsv(t);
+        assert_eq!(
+            reference, tsv,
+            "faulted world dataset differs between {} and {t} threads",
+            threads[0]
+        );
+    }
+    assert_golden("world_small_faulted.tsv", &reference);
+}
+
+/// Faults must actually change the output — otherwise the faulted golden
+/// pins nothing.
+#[test]
+fn conformance_faults_alter_the_dataset() {
+    assert_ne!(fixtures::world_dataset_tsv(2), fixtures::faulted_world_dataset_tsv(2));
+}

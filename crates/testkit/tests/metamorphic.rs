@@ -1,0 +1,132 @@
+//! Metamorphic property suite: transformations of pipeline input with
+//! provable effects on the output.
+
+use proptest::prelude::*;
+use sleepwatch_core::analyze_series;
+use sleepwatch_spectral::DiurnalConfig;
+use sleepwatch_testkit::metamorphic::{
+    assert_phase_eq, expected_phase_advance, rotate_left, wrap_phase,
+};
+
+/// Rounds per day at the 660 s cadence.
+const RPD: f64 = 86_400.0 / 660.0;
+
+/// A clean 14-day diurnal series: high by day, low by night.
+fn diurnal_series() -> Vec<f64> {
+    (0..1_833)
+        .map(|r| {
+            let day_frac = (r as f64 / RPD).fract();
+            if day_frac < 0.4 {
+                0.85
+            } else {
+                0.25
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn circular_shift_advances_recovered_phase_exactly() {
+    let cfg = DiurnalConfig::default();
+    let base = diurnal_series();
+    let n = base.len();
+    let (rep0, _) = analyze_series(&base, &cfg);
+    assert!(rep0.class.is_diurnal(), "fixture must classify diurnal");
+    let p0 = rep0.phase.expect("diurnal fixture has a phase");
+    for k in [13usize, 65, 131, 400] {
+        let (rep, _) = analyze_series(&rotate_left(&base, k), &cfg);
+        assert_eq!(rep.class, rep0.class, "rotation by {k} changed the class");
+        assert_eq!(
+            rep.fundamental_bin, rep0.fundamental_bin,
+            "rotation by {k} moved the fundamental"
+        );
+        let p = rep.phase.expect("rotated series keeps its phase");
+        assert_phase_eq(
+            p,
+            p0 + expected_phase_advance(n, rep0.fundamental_bin, k),
+            1e-6,
+            &format!("shift {k}"),
+        );
+    }
+}
+
+#[test]
+fn amplitude_scaling_preserves_class_and_phase() {
+    let cfg = DiurnalConfig::default();
+    let base = diurnal_series();
+    let (rep0, _) = analyze_series(&base, &cfg);
+    let p0 = rep0.phase.expect("diurnal fixture has a phase");
+    for scale in [0.1, 0.5, 0.9] {
+        let scaled: Vec<f64> = base.iter().map(|v| v * scale).collect();
+        let (rep, _) = analyze_series(&scaled, &cfg);
+        assert_eq!(rep.class, rep0.class, "scaling by {scale} changed the class");
+        assert_phase_eq(
+            rep.phase.expect("scaled series keeps its phase"),
+            p0,
+            1e-9,
+            &format!("scale {scale}"),
+        );
+        // Amplitudes scale linearly, so the dominance ratio is untouched.
+        assert!(
+            (rep.dominance_ratio() - rep0.dominance_ratio()).abs() < 1e-6
+                || (rep.dominance_ratio().is_infinite() && rep0.dominance_ratio().is_infinite()),
+            "dominance ratio drifted under scaling"
+        );
+    }
+}
+
+#[test]
+fn block_permutation_leaves_world_aggregates_invariant() {
+    use sleepwatch_core::{analyze_world, AnalysisConfig};
+    use sleepwatch_testkit::fixtures;
+
+    let world = fixtures::small_world();
+    let cfg = AnalysisConfig::over_days(world.cfg.start_time, world.cfg.span_days);
+    let forward = analyze_world(&world, &cfg, 2, None);
+
+    let mut permuted_world = fixtures::small_world();
+    permuted_world.blocks.reverse();
+    let reversed = analyze_world(&permuted_world, &cfg, 2, None);
+
+    assert_eq!(forward.confusion_vs_planted(), reversed.confusion_vs_planted());
+    assert_eq!(forward.strict_fraction(), reversed.strict_fraction());
+    assert_eq!(forward.diurnal_fraction(), reversed.diurnal_fraction());
+    // Per-block results are identical too, just in the permuted order.
+    let key = |a: &sleepwatch_core::WorldBlockReport| {
+        (a.summary.block_id, a.summary.class as u8, a.summary.total_probes)
+    };
+    let mut f: Vec<_> = forward.reports.iter().map(key).collect();
+    let mut r: Vec<_> = reversed.reports.iter().map(key).collect();
+    f.sort_unstable();
+    r.sort_unstable();
+    assert_eq!(f, r);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Rotation by any amount never changes the classification of any
+    /// series (amplitude spectra are shift-invariant).
+    #[test]
+    fn rotation_never_changes_the_class(
+        k in 0usize..1_833,
+        amp in 0.1f64..0.45,
+    ) {
+        let cfg = DiurnalConfig::default();
+        let base: Vec<f64> = (0..1_833)
+            .map(|r| 0.5 + amp * ((r as f64 / RPD) * std::f64::consts::TAU).sin())
+            .collect();
+        let (rep0, _) = analyze_series(&base, &cfg);
+        let (rep, _) = analyze_series(&rotate_left(&base, k), &cfg);
+        prop_assert_eq!(rep.class, rep0.class);
+    }
+
+    /// `wrap_phase` is idempotent and lands in `(-π, π]`.
+    #[test]
+    fn wrap_phase_is_idempotent(d in -50.0f64..50.0) {
+        let w = wrap_phase(d);
+        prop_assert!(w > -std::f64::consts::PI - 1e-12);
+        prop_assert!(w <= std::f64::consts::PI + 1e-12);
+        prop_assert!((wrap_phase(w) - w).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,40 @@
+//! Golden conformance for experiment reports: cheap, world-free
+//! experiments render byte-identically against recorded goldens, so the
+//! figure/table generators can't drift silently.
+
+use sleepwatch_experiments::{run, Context, ExperimentOutput, Options};
+use sleepwatch_testkit::assert_golden;
+
+fn ctx() -> Context {
+    Context::new(Options { seed: 5, scale: 0.01, threads: 2, out_dir: None })
+}
+
+/// Canonical rendering of a full experiment output: report, headline
+/// metrics and CSV in one file.
+fn render(out: &ExperimentOutput) -> String {
+    let mut s = String::new();
+    s.push_str("== report ==\n");
+    s.push_str(&out.report);
+    if !out.report.ends_with('\n') {
+        s.push('\n');
+    }
+    s.push_str("== headline ==\n");
+    for (k, v) in &out.headline {
+        s.push_str(&format!("{k}\t{v}\n"));
+    }
+    s.push_str("== csv ==\n");
+    s.push_str(&out.csv);
+    s
+}
+
+#[test]
+fn fig1_report_matches_golden() {
+    let out = run("fig1", &ctx()).expect("fig1 exists");
+    assert_golden("experiment_fig1.txt", &render(&out));
+}
+
+#[test]
+fn ablate_gaps_report_matches_golden() {
+    let out = run("ablate-gaps", &ctx()).expect("ablate-gaps exists");
+    assert_golden("experiment_ablate_gaps.txt", &render(&out));
+}
