@@ -88,6 +88,13 @@ pub fn clean_series(
     let range = midnight_trim(start_time, n_rounds, sample_seconds);
     let trimmed = dense[range].to_vec();
     let fill_frac = if n_rounds > 0 { filled as f64 / n_rounds as f64 } else { 0.0 };
+    let obs_reg = sleepwatch_obs::global();
+    if obs_reg.cleaning.series_cleaned.enabled() {
+        obs_reg.cleaning.series_cleaned.incr();
+        obs_reg.cleaning.samples_out.add(trimmed.len() as u64);
+        obs_reg.cleaning.samples_filled.add(filled as u64);
+        obs_reg.cleaning.fill_fraction.record(fill_frac);
+    }
     (trimmed, fill_frac)
 }
 

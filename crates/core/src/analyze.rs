@@ -6,6 +6,7 @@
 //! phase from the spectrum (§2.2), with the stationarity screen alongside.
 
 use sleepwatch_availability::cleaning::clean_series;
+use sleepwatch_obs::{Stage, StageTimer};
 use sleepwatch_probing::{BlockRun, FaultPlan, TrinocularConfig, TrinocularProber};
 use sleepwatch_simnet::{BlockSpec, ROUND_SECONDS};
 use sleepwatch_spectral::{
@@ -96,29 +97,46 @@ pub fn analyze_series(series: &[f64], cfg: &DiurnalConfig) -> (DiurnalReport, Tr
 }
 
 /// Runs the full pipeline over one block.
+///
+/// Each stage reports wall time into the [`sleepwatch_obs`] stage
+/// histograms; on the disabled registry the timers never read the clock.
 pub fn analyze_block(block: &BlockSpec, cfg: &AnalysisConfig) -> BlockAnalysis {
-    let mut prober = TrinocularProber::new(block, cfg.trinocular);
-    let run = prober.run_with_faults(block, cfg.start_time, cfg.rounds, &cfg.faults);
-    let (series, fill_fraction) = clean_series(
-        &run.a_short_observations(),
-        cfg.rounds as usize,
-        cfg.start_time,
-        ROUND_SECONDS,
-    );
-    // Every block of a run produces the same post-trim length, so this hits
-    // the global plan cache after the first block — the FFT tables are built
-    // once per world, not once per /24.
-    let plan = plan_for(series.len());
-    let spectrum = Spectrum::compute_with_plan(&series, sleepwatch_spectral::ROUND_SECONDS, &plan);
-    let mut diurnal = classify(&spectrum, &cfg.diurnal);
-    if fill_fraction > cfg.max_fill_fraction {
-        // Too much interpolation to trust periodicity claims.
-        diurnal.class = DiurnalClass::NonDiurnal;
-        diurnal.phase = None;
-    }
-    let trend = trend_default(&series);
+    let obs = sleepwatch_obs::global();
+    let run = {
+        let _t = StageTimer::start(obs.pipeline.stage(Stage::Probe));
+        let mut prober = TrinocularProber::new(block, cfg.trinocular);
+        prober.run_with_faults(block, cfg.start_time, cfg.rounds, &cfg.faults)
+    };
+    let observations = {
+        let _t = StageTimer::start(obs.pipeline.stage(Stage::Estimate));
+        run.a_short_observations()
+    };
+    let (series, fill_fraction) = {
+        let _t = StageTimer::start(obs.pipeline.stage(Stage::Clean));
+        clean_series(&observations, cfg.rounds as usize, cfg.start_time, ROUND_SECONDS)
+    };
+    let spectrum = {
+        let _t = StageTimer::start(obs.pipeline.stage(Stage::Fft));
+        // Every block of a run produces the same post-trim length, so this
+        // hits the global plan cache after the first block — the FFT tables
+        // are built once per world, not once per /24.
+        let plan = plan_for(series.len());
+        Spectrum::compute_with_plan(&series, sleepwatch_spectral::ROUND_SECONDS, &plan)
+    };
+    let (diurnal, trend) = {
+        let _t = StageTimer::start(obs.pipeline.stage(Stage::Classify));
+        let mut diurnal = classify(&spectrum, &cfg.diurnal);
+        if fill_fraction > cfg.max_fill_fraction {
+            // Too much interpolation to trust periodicity claims.
+            diurnal.class = DiurnalClass::NonDiurnal;
+            diurnal.phase = None;
+            obs.pipeline.blocks_rejected.incr();
+        }
+        (diurnal, trend_default(&series))
+    };
     let mean_a_short =
         if series.is_empty() { 0.0 } else { series.iter().sum::<f64>() / series.len() as f64 };
+    obs.pipeline.blocks_analyzed.incr();
     BlockAnalysis { block_id: block.id, run, series, fill_fraction, diurnal, trend, mean_a_short }
 }
 

@@ -44,4 +44,4 @@ pub use applications::{correct_snapshot, estimate_size, SizeEstimate};
 pub use export::{read_dataset, write_dataset, DatasetRow, ParseError};
 pub use streaming::{OnlineConfig, OnlineDetector};
 pub use timeofday::{activity_pattern, peak_local_hour, peak_utc_hour, ActivityPattern};
-pub use worldrun::{analyze_world, WorldAnalysis, WorldBlockReport};
+pub use worldrun::{analyze_world, analyze_world_with_report, WorldAnalysis, WorldBlockReport};

@@ -8,6 +8,7 @@ use sleepwatch_geoecon::country::COUNTRIES;
 use sleepwatch_geoecon::geolocate::Location;
 use sleepwatch_geoecon::region::Region;
 use sleepwatch_linktype::{classify_block, LinkFeature};
+use sleepwatch_obs::{RunReport, Snapshot, Stage, StageTimer};
 use sleepwatch_simnet::{ptr_names, World};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -42,19 +43,34 @@ pub struct WorldAnalysis {
 /// Analyzes every block of `world` with `cfg`, using `threads` worker
 /// threads (1 = sequential). An optional `progress` callback receives the
 /// number of completed blocks at coarse intervals.
+///
+/// Progress contract: workers report coarse intermediate progress
+/// (`done < n` at multiples of 500), and after every worker has joined the
+/// callback receives exactly one final `(n, n)` invocation — guaranteed to
+/// be the last call, even for empty worlds and regardless of worker
+/// scheduling. (Workers reporting the final count themselves would race: a
+/// preempted worker could deliver a stale intermediate count *after*
+/// another worker's `(n, n)`.)
 pub fn analyze_world(
     world: &World,
     cfg: &AnalysisConfig,
     threads: usize,
     progress: Option<&(dyn Fn(usize, usize) + Sync)>,
 ) -> WorldAnalysis {
+    let obs = sleepwatch_obs::global();
+    let _total_timer = StageTimer::start(obs.pipeline.stage(Stage::Total));
     let n = world.blocks.len();
     let threads = threads.max(1);
+    obs.world.runs.incr();
+    obs.world.blocks_total.add(n as u64);
+    obs.world.max_world_blocks.raise(n as u64);
     // Pre-warm the FFT plan for the nominal series length so workers start
     // from a populated cache instead of racing to plan it. Cleaning's
     // midnight trim can shorten some series; those lengths are planned once
-    // on first use through the same cache.
-    sleepwatch_spectral::plan_for(cfg.rounds as usize);
+    // on first use through the same cache. (`prewarm`, not `plan_for`:
+    // warmup is not a caller-visible lookup and must not skew the
+    // hit/miss-vs-transform accounting.)
+    sleepwatch_spectral::prewarm(cfg.rounds as usize);
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let mut slots: Vec<Option<WorldBlockReport>> = Vec::with_capacity(n);
@@ -62,9 +78,13 @@ pub fn analyze_world(
     let slots_mutex = parking_lot::Mutex::new(&mut slots);
 
     crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| {
+        for worker in 0..threads {
+            // Rebind as shared references so `move` captures copies, not
+            // the owned atomics/mutex themselves.
+            let (next, done, slots_mutex) = (&next, &done, &slots_mutex);
+            s.spawn(move |_| {
                 let mut local: Vec<(usize, WorldBlockReport)> = Vec::new();
+                let mut blocks_done = 0u64;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
@@ -95,9 +115,13 @@ pub fn analyze_world(
                             planted_diurnal: block.planted_diurnal,
                         },
                     ));
+                    blocks_done += 1;
                     let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if let Some(cb) = progress {
-                        if d % 500 == 0 || d == n {
+                        // Final (n, n) is reported by the calling thread
+                        // after the join; workers only emit strictly
+                        // intermediate counts.
+                        if d % 500 == 0 && d < n {
                             cb(d, n);
                         }
                     }
@@ -113,13 +137,42 @@ pub fn analyze_world(
                 for (idx, rep) in local.drain(..) {
                     guard[idx] = Some(rep);
                 }
+                obs.world.worker_blocks.add(worker, blocks_done);
             });
         }
     })
     .expect("worker thread panicked");
 
-    let reports = slots.into_iter().map(|s| s.expect("every block analyzed")).collect();
+    let reports = {
+        let _t = StageTimer::start(obs.pipeline.stage(Stage::Join));
+        slots.into_iter().map(|s| s.expect("every block analyzed")).collect()
+    };
+    if let Some(cb) = progress {
+        cb(n, n);
+    }
     WorldAnalysis { reports }
+}
+
+/// [`analyze_world`], additionally returning a [`RunReport`] isolating the
+/// run's metric activity (snapshot delta around the call) with wall-clock
+/// and thread context. With metrics disabled the report is present but
+/// all-zero, and the analysis itself is byte-identical.
+pub fn analyze_world_with_report(
+    world: &World,
+    cfg: &AnalysisConfig,
+    threads: usize,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+    label: &str,
+) -> (WorldAnalysis, RunReport) {
+    let obs = sleepwatch_obs::global();
+    let before = Snapshot::capture(obs);
+    let start = std::time::Instant::now();
+    let analysis = analyze_world(world, cfg, threads, progress);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let snapshot = Snapshot::capture(obs).delta(&before);
+    let report =
+        RunReport { label: label.to_string(), threads: threads.max(1), wall_seconds, snapshot };
+    (analysis, report)
 }
 
 impl WorldAnalysis {
@@ -252,6 +305,74 @@ mod tests {
         };
         analyze_world(&world, &cfg, 2, Some(&cb));
         assert!(hits.load(Ordering::Relaxed) >= 1, "final-progress callback expected");
+    }
+
+    #[test]
+    fn progress_final_call_is_guaranteed_and_last() {
+        // Regression: the final (n, n) invocation used to come from
+        // whichever worker finished block n — a preempted worker could
+        // deliver a stale intermediate count after it, and coarse-interval
+        // reporting could skip it entirely. The contract now: exactly one
+        // (n, n) call, strictly last.
+        let world = World::generate(WorldConfig {
+            num_blocks: 10,
+            seed: 2,
+            span_days: 3.0,
+            ..Default::default()
+        });
+        let cfg = AnalysisConfig::over_days(world.cfg.start_time, 3.0);
+        let calls = parking_lot::Mutex::new(Vec::new());
+        let cb = |d: usize, n: usize| calls.lock().push((d, n));
+        analyze_world(&world, &cfg, 3, Some(&cb));
+        let calls = calls.into_inner();
+        assert_eq!(calls.last(), Some(&(10, 10)), "final call must be (n, n): {calls:?}");
+        assert_eq!(
+            calls.iter().filter(|&&c| c == (10, 10)).count(),
+            1,
+            "final call must fire exactly once: {calls:?}"
+        );
+    }
+
+    #[test]
+    fn progress_fires_for_empty_world() {
+        let world = World::generate(WorldConfig {
+            num_blocks: 0,
+            seed: 2,
+            span_days: 1.0,
+            ..Default::default()
+        });
+        let cfg = AnalysisConfig::over_days(world.cfg.start_time, 1.0);
+        let calls = parking_lot::Mutex::new(Vec::new());
+        let cb = |d: usize, n: usize| calls.lock().push((d, n));
+        analyze_world(&world, &cfg, 2, Some(&cb));
+        assert_eq!(calls.into_inner(), vec![(0, 0)], "empty worlds still get the final call");
+    }
+
+    #[test]
+    fn with_report_returns_identical_analysis_and_labelled_report() {
+        let world = World::generate(WorldConfig {
+            num_blocks: 12,
+            seed: 7,
+            span_days: 3.0,
+            ..Default::default()
+        });
+        let cfg = AnalysisConfig::over_days(world.cfg.start_time, 3.0);
+        let plain = analyze_world(&world, &cfg, 2, None);
+        let (reported, report) = analyze_world_with_report(&world, &cfg, 2, None, "unit");
+        assert_eq!(plain.len(), reported.len());
+        for (a, b) in plain.reports.iter().zip(&reported.reports) {
+            assert_eq!(a.summary.class, b.summary.class);
+            assert_eq!(a.summary.total_probes, b.summary.total_probes);
+        }
+        assert_eq!(report.label, "unit");
+        assert_eq!(report.threads, 2);
+        assert!(report.wall_seconds >= 0.0);
+        if sleepwatch_obs::global_enabled() {
+            // The delta covers at least this run (other tests in the
+            // binary may add to it concurrently, never subtract).
+            assert!(report.snapshot.counter("pipeline.blocks_analyzed") >= 12);
+            assert!(report.snapshot.counter("probing.probes_sent") > 0);
+        }
     }
 
     #[test]

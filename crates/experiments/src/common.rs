@@ -1,7 +1,8 @@
 //! Shared infrastructure for the experiment harness: options, the cached
 //! world run, table rendering and CSV output.
 
-use sleepwatch_core::{analyze_world, AnalysisConfig, WorldAnalysis};
+use sleepwatch_core::{analyze_world_with_report, AnalysisConfig, WorldAnalysis};
+use sleepwatch_obs::{Reporter, RunReport};
 use sleepwatch_probing::TrinocularConfig;
 use sleepwatch_simnet::{World, WorldConfig};
 use std::path::PathBuf;
@@ -66,13 +67,19 @@ pub struct Context {
     /// Options in effect.
     pub opts: Options,
     world_run: OnceLock<(World, WorldAnalysis)>,
+    world_report: OnceLock<RunReport>,
     survey_study: OnceLock<crate::validation::SurveyStudy>,
 }
 
 impl Context {
     /// Creates a context.
     pub fn new(opts: Options) -> Self {
-        Context { opts, world_run: OnceLock::new(), survey_study: OnceLock::new() }
+        Context {
+            opts,
+            world_run: OnceLock::new(),
+            world_report: OnceLock::new(),
+            survey_study: OnceLock::new(),
+        }
     }
 
     /// The shared survey-vs-adaptive study (Figs. 4–5, Table 1).
@@ -98,19 +105,29 @@ impl Context {
             });
             let mut cfg = AnalysisConfig::over_days(world.cfg.start_time, Self::WORLD_DAYS);
             cfg.trinocular = TrinocularConfig::a12w();
-            eprintln!(
-                "[world] analyzing {} blocks over {} days…",
+            let reporter = Reporter::new("[world]");
+            reporter.note(&format!(
+                "analyzing {} blocks over {} days…",
                 world.blocks.len(),
                 Self::WORLD_DAYS
+            ));
+            let progress = |done: usize, total: usize| reporter.report(done, total);
+            let (analysis, report) = analyze_world_with_report(
+                &world,
+                &cfg,
+                self.opts.threads,
+                Some(&progress),
+                "world",
             );
-            let progress = |done: usize, total: usize| {
-                if done % 2_000 == 0 || done == total {
-                    eprintln!("[world] {done}/{total}");
-                }
-            };
-            let analysis = analyze_world(&world, &cfg, self.opts.threads, Some(&progress));
+            let _ = self.world_report.set(report);
             (world, analysis)
         })
+    }
+
+    /// The [`RunReport`] of the shared world run, if it has been computed.
+    pub fn world_report(&self) -> Option<&RunReport> {
+        self.world_run();
+        self.world_report.get()
     }
 }
 

@@ -35,8 +35,10 @@ pub fn usc(ctx: &Context) -> ExperimentOutput {
     }
     let mut acc: BTreeMap<&'static str, RoleAcc> = BTreeMap::new();
 
-    eprintln!("[usc] {} campus blocks…", campus.len());
-    for (block, role) in &campus {
+    let reporter = sleepwatch_obs::Reporter::new("[usc]");
+    reporter.note(&format!("{} campus blocks…", campus.len()));
+    for (bi, (block, role)) in campus.iter().enumerate() {
+        reporter.report(bi, campus.len());
         let a = acc.entry(role.label()).or_default();
         a.total += 1;
         let census = run_census(block, start, &census_cfg);
@@ -56,6 +58,7 @@ pub fn usc(ctx: &Context) -> ExperimentOutput {
             DiurnalClass::NonDiurnal => a.non += 1,
         }
     }
+    reporter.report(campus.len(), campus.len());
 
     let rows: Vec<Vec<String>> = acc
         .iter()
@@ -225,7 +228,8 @@ pub fn ext_outages(ctx: &Context) -> ExperimentOutput {
         span_days: 14.0,
         ..Default::default()
     });
-    eprintln!("[ext-outages] {} blocks × 2 sites…", n_blocks);
+    let reporter = sleepwatch_obs::Reporter::new("[ext-outages]");
+    reporter.note(&format!("{} blocks × 2 sites…", n_blocks));
 
     #[derive(Default)]
     struct Score {
@@ -253,7 +257,8 @@ pub fn ext_outages(ctx: &Context) -> ExperimentOutput {
     let mut single = Score::default();
     let mut consensus = Score::default();
     let mut injected_total = 0usize;
-    for block in &world.blocks {
+    for (bi, block) in world.blocks.iter().enumerate() {
+        reporter.report(bi, world.blocks.len());
         let injected = block.outage.is_some();
         injected_total += injected as usize;
         let mut p1 = TrinocularProber::new(block, TrinocularConfig::default());
@@ -265,6 +270,7 @@ pub fn ext_outages(ctx: &Context) -> ExperimentOutput {
         let merged = merge_states(&[&r1, &r2], rounds);
         consensus.add(injected, !merged_outages(&merged).is_empty());
     }
+    reporter.report(world.blocks.len(), world.blocks.len());
 
     let rows = vec![
         vec!["blocks with injected outage".into(), injected_total.to_string()],

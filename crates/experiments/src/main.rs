@@ -12,6 +12,7 @@
 //! ```
 
 use sleepwatch_experiments::{run, Context, Options, ALL_IDS};
+use sleepwatch_obs::{RunReport, Snapshot};
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -62,6 +63,7 @@ fn main() -> ExitCode {
     let mut failed = false;
     for id in &ids {
         let start = std::time::Instant::now();
+        let before = Snapshot::capture(sleepwatch_obs::global());
         match run(id, &ctx) {
             Some(out) => {
                 println!("{}", out.report);
@@ -76,6 +78,20 @@ fn main() -> ExitCode {
                         .and_then(|_| std::fs::write(dir.join(format!("{}.csv", out.id)), &out.csv))
                     {
                         eprintln!("[{}] could not write CSV: {e}", out.id);
+                    }
+                    // Observability artifact: the run's metric activity
+                    // (snapshot delta) next to its CSV. Shared-world cost
+                    // lands in whichever experiment triggered the run.
+                    let report = RunReport {
+                        label: out.id.to_string(),
+                        threads: ctx.opts.threads,
+                        wall_seconds: start.elapsed().as_secs_f64(),
+                        snapshot: Snapshot::capture(sleepwatch_obs::global()).delta(&before),
+                    };
+                    if let Err(e) =
+                        std::fs::write(dir.join(format!("{}.report.tsv", out.id)), report.to_tsv())
+                    {
+                        eprintln!("[{}] could not write report: {e}", out.id);
                     }
                 }
             }

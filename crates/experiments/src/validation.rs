@@ -100,7 +100,8 @@ impl SurveyStudy {
             ..Default::default()
         });
         let rounds = 1_833u64;
-        eprintln!("[survey] {} blocks × {} rounds…", n_blocks, rounds);
+        let reporter = sleepwatch_obs::Reporter::new("[survey]");
+        reporter.note(&format!("{} blocks × {} rounds…", n_blocks, rounds));
 
         let mut corr_s = CorrAcc::default();
         let mut corr_o = CorrAcc::default();
@@ -160,9 +161,7 @@ impl SurveyStudy {
                 (true, false) => confusion.2 += 1,
                 (false, false) => confusion.3 += 1,
             }
-            if (bi + 1) % 100 == 0 {
-                eprintln!("[survey] {}/{}", bi + 1, n_blocks);
-            }
+            reporter.report(bi + 1, n_blocks);
         }
 
         SurveyStudy {

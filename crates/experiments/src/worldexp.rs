@@ -69,7 +69,8 @@ fn ym_unix(ym: sleepwatch_geoecon::YearMonth) -> u64 {
 pub fn fig11(ctx: &Context) -> ExperimentOutput {
     let n_blocks = ctx.opts.scaled(400, 50);
     let calendar = survey_calendar();
-    eprintln!("[fig11] {} surveys × {} blocks…", calendar.len(), n_blocks);
+    let reporter = sleepwatch_obs::Reporter::new("[fig11]");
+    reporter.note(&format!("{} surveys × {} blocks…", calendar.len(), n_blocks));
     let mut rows = Vec::new();
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -88,6 +89,7 @@ pub fn fig11(ctx: &Context) -> ExperimentOutput {
         rows.push(vec![date.to_string(), site.to_string(), f(frac)]);
         xs.push(date.months_since_epoch() as f64);
         ys.push(frac);
+        reporter.report(i + 1, calendar.len());
     }
     // Decline after 2012?
     let m2012 = sleepwatch_geoecon::YearMonth::new(2012, 1).months_since_epoch() as f64;
@@ -369,7 +371,7 @@ pub fn table2(ctx: &Context) -> ExperimentOutput {
     let (world, first) = ctx.world_run();
     let mut cfg = AnalysisConfig::over_days(world.cfg.start_time + 330, Context::WORLD_DAYS);
     cfg.trinocular = TrinocularConfig::a12w();
-    eprintln!("[table2] second vantage point…");
+    sleepwatch_obs::Reporter::new("[table2]").note("second vantage point…");
     let second = analyze_world(world, &cfg, ctx.opts.threads, None);
 
     // Cross-tab with the paper's overlapping categories: d (strict),

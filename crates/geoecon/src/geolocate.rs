@@ -89,8 +89,10 @@ impl GeoDatabase {
     ) -> Option<Location> {
         let mut cov = KeyedRng::from_parts(&[self.seed, STREAM_COVERAGE, block_id]);
         if !cov.chance(self.cfg.coverage) {
+            sleepwatch_obs::global().geo.locate_misses.incr();
             return None;
         }
+        sleepwatch_obs::global().geo.locate_hits.incr();
         if cov.chance(self.cfg.centroid_fraction) {
             return Some(Location {
                 lon: country.lon,

@@ -185,6 +185,7 @@ const SUPPRESSION_DIVISOR: u32 = 15;
 /// Classifies one block from its per-address reverse names (`None` where no
 /// PTR record exists). Accepts any iterator of up to 256 entries.
 pub fn classify_block<'a>(names: impl IntoIterator<Item = Option<&'a str>>) -> BlockLabel {
+    sleepwatch_obs::global().linktype.blocks_classified.incr();
     let mut label = BlockLabel::default();
     for name in names {
         let Some(name) = name else { continue };

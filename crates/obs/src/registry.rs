@@ -1,0 +1,254 @@
+//! The metric registry: one `const`-constructible struct per pipeline
+//! subsystem, grouped under [`Registry`].
+//!
+//! Two registries exist for the whole process (see [`crate::global`]): an
+//! enabled one and a disabled one. Instrumented code grabs a reference
+//! once per run or per block (`let obs = sleepwatch_obs::global();`),
+//! hoists it out of hot loops, and records through it; which registry the
+//! reference points at decides — via each metric's construction-time
+//! `on` flag — whether anything is written.
+
+use crate::metrics::{Buckets, Counter, Gauge, Histogram, LengthCounts};
+use crate::stage::Stage;
+
+/// Probing-side counters: Trinocular rounds, survey baselines and the
+/// deterministic fault layer.
+pub struct ProbingMetrics {
+    /// Individual probes sent by [`TrinocularProber`] runs (sum of
+    /// per-run `total_probes`).
+    pub probes_sent: Counter,
+    /// Probes sent by full-census survey scans (kept separate so
+    /// `probes_sent` stays exactly Σ `BlockRun::total_probes`).
+    pub survey_probes: Counter,
+    /// Completed prober runs.
+    pub runs: Counter,
+    /// E(b) refreshes: initial ever-responsive walks built plus
+    /// mid-run churn rebuilds.
+    pub eb_refreshes: Counter,
+    /// Individual E(b) slots replaced by churn events.
+    pub churned_slots: Counter,
+    /// Fault-event counters, by kind.
+    pub faults: FaultMetrics,
+}
+
+/// Counters for every fault kind a [`FaultPlan`] can inject.
+pub struct FaultMetrics {
+    /// Correlated loss bursts that started.
+    pub loss_bursts: Counter,
+    /// Probe responses suppressed by loss bursts.
+    pub lost_probes: Counter,
+    /// Vantage blackouts entered.
+    pub blackouts: Counter,
+    /// Rounds skipped entirely while blacked out.
+    pub blackout_rounds: Counter,
+    /// Restart storms triggered by the fault plan.
+    pub storm_restarts: Counter,
+    /// Rounds lost to restart storms.
+    pub storm_lost_rounds: Counter,
+    /// Runs truncated early.
+    pub truncations: Counter,
+    /// Rounds dropped by truncation.
+    pub truncated_rounds: Counter,
+    /// Duplicate records appended by record mangling.
+    pub duplicates: Counter,
+    /// Adjacent record swaps applied by record mangling.
+    pub reorders: Counter,
+    /// Configured (non-fault) prober restarts observed during runs.
+    pub cfg_restarts: Counter,
+}
+
+/// Availability-cleaning counters and the per-series fill-fraction
+/// distribution.
+pub struct CleaningMetrics {
+    /// Series passed through `clean_series`.
+    pub series_cleaned: Counter,
+    /// Output samples produced across all cleaned series.
+    pub samples_out: Counter,
+    /// Output samples synthesised by gap filling.
+    pub samples_filled: Counter,
+    /// Distribution of per-series fill fraction (filled / total), 0..1.
+    pub fill_fraction: Histogram,
+}
+
+/// FFT plan-cache telemetry.
+pub struct PlanCacheMetrics {
+    /// Public `plan_for` lookups served from the cache.
+    pub hits: Counter,
+    /// Public `plan_for` lookups that had to build a plan.
+    pub misses: Counter,
+    /// Plans inserted into the cache (misses that won the insert race).
+    pub inserts: Counter,
+    /// Explicit `prewarm` calls (uncounted as hits/misses).
+    pub prewarms: Counter,
+}
+
+/// FFT execution telemetry.
+pub struct FftMetrics {
+    /// Transforms executed through the public plan entry points.
+    pub transforms: Counter,
+    /// The subset of `transforms` that went through an allocating
+    /// wrapper instead of a caller-provided scratch buffer.
+    pub alloc_transforms: Counter,
+    /// Transform counts keyed by input length.
+    pub by_length: LengthCounts,
+}
+
+/// Per-block pipeline counters and stage wall-time histograms.
+pub struct PipelineMetrics {
+    /// Blocks fully analysed by `analyze_block`.
+    pub blocks_analyzed: Counter,
+    /// Blocks rejected by the fill-fraction screen.
+    pub blocks_rejected: Counter,
+    /// Wall-time histograms, one per [`Stage`], in microseconds.
+    stages: [Histogram; Stage::COUNT],
+}
+
+impl PipelineMetrics {
+    /// The wall-time histogram for `stage`.
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage as usize]
+    }
+}
+
+/// World-run orchestration counters.
+pub struct WorldMetrics {
+    /// `analyze_world` invocations.
+    pub runs: Counter,
+    /// Blocks submitted across all world runs.
+    pub blocks_total: Counter,
+    /// Largest single world analysed (blocks).
+    pub max_world_blocks: Gauge,
+    /// Blocks analysed per worker index, to see scheduling balance.
+    pub worker_blocks: LengthCounts,
+}
+
+/// Synthetic-world generation counters.
+pub struct SimnetMetrics {
+    /// Worlds generated.
+    pub worlds_generated: Counter,
+    /// Blocks generated across all worlds.
+    pub blocks_generated: Counter,
+}
+
+/// Geolocation / economic-join counters.
+pub struct GeoMetrics {
+    /// Block lookups that resolved to a country.
+    pub locate_hits: Counter,
+    /// Block lookups with no geolocation entry.
+    pub locate_misses: Counter,
+}
+
+/// Link-type classification counters.
+pub struct LinktypeMetrics {
+    /// Blocks classified by access-link type.
+    pub blocks_classified: Counter,
+}
+
+/// The full metric registry, one instance per enabled/disabled state.
+pub struct Registry {
+    /// Probing subsystem.
+    pub probing: ProbingMetrics,
+    /// Availability cleaning subsystem.
+    pub cleaning: CleaningMetrics,
+    /// FFT plan cache.
+    pub plan_cache: PlanCacheMetrics,
+    /// FFT execution.
+    pub fft: FftMetrics,
+    /// Per-block analysis pipeline.
+    pub pipeline: PipelineMetrics,
+    /// World-run orchestration.
+    pub world: WorldMetrics,
+    /// Synthetic world generation.
+    pub simnet: SimnetMetrics,
+    /// Geolocation joins.
+    pub geo: GeoMetrics,
+    /// Link-type classification.
+    pub linktype: LinktypeMetrics,
+}
+
+impl Registry {
+    /// Builds a registry whose metrics record only when `on` is true.
+    pub const fn with_state(on: bool) -> Self {
+        const fn stage_hist(on: bool) -> Histogram {
+            Histogram::new(on, Buckets::Log2Micros)
+        }
+        Registry {
+            probing: ProbingMetrics {
+                probes_sent: Counter::new(on),
+                survey_probes: Counter::new(on),
+                runs: Counter::new(on),
+                eb_refreshes: Counter::new(on),
+                churned_slots: Counter::new(on),
+                faults: FaultMetrics {
+                    loss_bursts: Counter::new(on),
+                    lost_probes: Counter::new(on),
+                    blackouts: Counter::new(on),
+                    blackout_rounds: Counter::new(on),
+                    storm_restarts: Counter::new(on),
+                    storm_lost_rounds: Counter::new(on),
+                    truncations: Counter::new(on),
+                    truncated_rounds: Counter::new(on),
+                    duplicates: Counter::new(on),
+                    reorders: Counter::new(on),
+                    cfg_restarts: Counter::new(on),
+                },
+            },
+            cleaning: CleaningMetrics {
+                series_cleaned: Counter::new(on),
+                samples_out: Counter::new(on),
+                samples_filled: Counter::new(on),
+                fill_fraction: Histogram::new(on, Buckets::Linear { lo: 0.0, hi: 1.0 }),
+            },
+            plan_cache: PlanCacheMetrics {
+                hits: Counter::new(on),
+                misses: Counter::new(on),
+                inserts: Counter::new(on),
+                prewarms: Counter::new(on),
+            },
+            fft: FftMetrics {
+                transforms: Counter::new(on),
+                alloc_transforms: Counter::new(on),
+                by_length: LengthCounts::new(on),
+            },
+            pipeline: PipelineMetrics {
+                blocks_analyzed: Counter::new(on),
+                blocks_rejected: Counter::new(on),
+                stages: [
+                    stage_hist(on),
+                    stage_hist(on),
+                    stage_hist(on),
+                    stage_hist(on),
+                    stage_hist(on),
+                    stage_hist(on),
+                    stage_hist(on),
+                ],
+            },
+            world: WorldMetrics {
+                runs: Counter::new(on),
+                blocks_total: Counter::new(on),
+                max_world_blocks: Gauge::new(on),
+                worker_blocks: LengthCounts::new(on),
+            },
+            simnet: SimnetMetrics {
+                worlds_generated: Counter::new(on),
+                blocks_generated: Counter::new(on),
+            },
+            geo: GeoMetrics { locate_hits: Counter::new(on), locate_misses: Counter::new(on) },
+            linktype: LinktypeMetrics { blocks_classified: Counter::new(on) },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_array_matches_stage_count() {
+        let r = Registry::with_state(true);
+        for stage in Stage::ALL {
+            // Indexing must not panic for any stage.
+            let _ = r.pipeline.stage(stage);
+        }
+    }
+}

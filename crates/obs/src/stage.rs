@@ -1,0 +1,117 @@
+//! Pipeline stage taxonomy and the RAII stage timer.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// The stages of the per-block analysis pipeline, plus orchestration
+/// stages measured at the world-run level.
+///
+/// The numeric value indexes the stage-histogram array in
+/// [`crate::registry::PipelineMetrics`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Stage {
+    /// Adaptive probing of one block (`TrinocularProber::run_with_faults`).
+    Probe = 0,
+    /// A(b) estimation from raw outage records.
+    Estimate = 1,
+    /// Availability series cleaning (bucketing, gap fill, midnight trim).
+    Clean = 2,
+    /// Spectral transform and periodogram summarisation.
+    Fft = 3,
+    /// Diurnal classification and trend screening.
+    Classify = 4,
+    /// Worker-result collection and report assembly in `analyze_world`.
+    Join = 5,
+    /// Whole `analyze_world` call, end to end.
+    Total = 6,
+}
+
+impl Stage {
+    /// Number of stages (length of the per-stage histogram array).
+    pub const COUNT: usize = 7;
+
+    /// Every stage, in index order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Probe,
+        Stage::Estimate,
+        Stage::Clean,
+        Stage::Fft,
+        Stage::Classify,
+        Stage::Join,
+        Stage::Total,
+    ];
+
+    /// Stable lowercase name used in snapshots and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Probe => "probe",
+            Stage::Estimate => "estimate",
+            Stage::Clean => "clean",
+            Stage::Fft => "fft",
+            Stage::Classify => "classify",
+            Stage::Join => "join",
+            Stage::Total => "total",
+        }
+    }
+}
+
+/// Measures the wall time of a scope and records it (in microseconds)
+/// into a stage histogram on drop.
+///
+/// When the histogram is disabled the timer never calls `Instant::now`,
+/// so a timed scope on the disabled path costs one branch.
+pub struct StageTimer<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl<'a> StageTimer<'a> {
+    /// Starts timing a scope that reports into `hist`.
+    #[inline]
+    pub fn start(hist: &'a Histogram) -> Self {
+        let start = if hist.enabled() { Some(Instant::now()) } else { None };
+        StageTimer { hist, start }
+    }
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist.record(start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Buckets;
+
+    #[test]
+    fn stage_names_are_unique() {
+        let mut names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Stage::COUNT);
+    }
+
+    #[test]
+    fn timer_records_once_when_enabled() {
+        let h = Histogram::new(true, Buckets::Log2Micros);
+        {
+            let _t = StageTimer::start(&h);
+        }
+        assert_eq!(h.snapshot().count, if cfg!(feature = "off") { 0 } else { 1 });
+    }
+
+    #[test]
+    fn timer_is_silent_when_disabled() {
+        let h = Histogram::new(false, Buckets::Log2Micros);
+        {
+            let _t = StageTimer::start(&h);
+        }
+        assert_eq!(h.snapshot().count, 0);
+    }
+}

@@ -298,10 +298,16 @@ impl FaultPlan {
     /// previous record re-emitted under the current round number, after
     /// the genuine record so last-write-wins ingest keeps the stale one)
     /// and adjacent-pair reorders. Keyed per `(plan, block, round)`.
-    pub fn mangle_records(&self, block_id: u64, records: &mut Vec<RoundRecord>) {
+    ///
+    /// Returns `(duplicates appended, pairs swapped)` so callers (and the
+    /// metrics layer) can account for the injected corruption without
+    /// re-deriving the keyed draws.
+    pub fn mangle_records(&self, block_id: u64, records: &mut Vec<RoundRecord>) -> (u64, u64) {
         if self.duplicate_rate <= 0.0 && self.reorder_rate <= 0.0 {
-            return;
+            return (0, 0);
         }
+        let mut dups = 0u64;
+        let mut swaps = 0u64;
         if self.duplicate_rate > 0.0 {
             let mut out = Vec::with_capacity(records.len() + records.len() / 8);
             for i in 0..records.len() {
@@ -315,6 +321,7 @@ impl FaultPlan {
                     let mut stale = records[i - 1];
                     stale.round = records[i].round;
                     out.push(stale);
+                    dups += 1;
                 }
             }
             *records = out;
@@ -327,12 +334,14 @@ impl FaultPlan {
                     &[self.seed, STREAM_REORDER, block_id, records[i].round],
                 ) {
                     records.swap(i, i + 1);
+                    swaps += 1;
                     i += 2; // a swapped pair is not swapped again
                 } else {
                     i += 1;
                 }
             }
         }
+        (dups, swaps)
     }
 
     /// True when this plan can emit records out of strict round order

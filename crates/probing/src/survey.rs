@@ -99,6 +99,10 @@ pub fn survey_block_with_faults(
         }
         responders.push(count);
     }
+    // Surveys account separately from adaptive probing so the
+    // `probing.probes_sent == Σ BlockRun::total_probes` invariant stays
+    // exact for the analysis pipeline.
+    sleepwatch_obs::global().probing.survey_probes.add(256 * surveyed);
     SurveyResult {
         block_id: block.id,
         rounds: surveyed,

@@ -162,6 +162,8 @@ impl TrinocularProber {
             let j = rng.below(i as u64 + 1) as usize;
             walk.swap(i, j);
         }
+        // Building the E(b) walk is the initial refresh.
+        sleepwatch_obs::global().probing.eb_refreshes.incr();
         TrinocularProber {
             cfg,
             estimator: AvailabilityEstimator::new(hist_avail, cfg.ewma),
@@ -222,7 +224,7 @@ impl TrinocularProber {
     /// returning the round's record (or `None` when the block has no
     /// ever-active addresses to probe).
     pub fn round(&mut self, block: &BlockSpec, round: u64, time: u64) -> Option<RoundRecord> {
-        self.round_inner(block, round, time, false, None)
+        self.round_inner(block, round, time, false, None, &mut 0)
     }
 
     fn round_inner(
@@ -235,6 +237,9 @@ impl TrinocularProber {
         // burst covers this round. `None` draws nothing — the fault-free
         // path is bit-identical to the pre-fault-layer code.
         burst_loss: Option<(u64, f64)>,
+        // Accumulates responses suppressed by the burst, for the metrics
+        // flush at the end of the run.
+        burst_lost: &mut u64,
     ) -> Option<RoundRecord> {
         if self.walk.is_empty() {
             return None;
@@ -270,6 +275,7 @@ impl TrinocularProber {
                 if let Some((plan_seed, rate)) = burst_loss {
                     if crate::faults::burst_loses_response(plan_seed, rate, block.id, addr, time) {
                         outcome = ProbeOutcome::Timeout;
+                        *burst_lost += 1;
                     }
                 }
             }
@@ -351,21 +357,54 @@ impl TrinocularProber {
         rounds: u64,
         plan: &FaultPlan,
     ) -> BlockRun {
+        // Fault accounting is accumulated in locals and flushed once at
+        // the end of the run: one shared-cache-line touch per run instead
+        // of per round/probe keeps worker threads from contending.
+        let probes_before = self.total_probes;
+        let mut fc = FaultCounts::default();
+        let mut in_blackout = false;
+        let mut in_burst = false;
         let mut records = Vec::with_capacity(rounds as usize);
         for r in 0..rounds {
             if plan.truncates_at(r) {
+                fc.truncations += 1;
+                fc.truncated_rounds += rounds - r;
                 break; // collection died; nothing more arrives
             }
             if let Some(churn) = plan.churn_at(r) {
                 self.churn_walk(block, plan, churn.fraction);
             }
             if plan.blacked_out(r) {
+                if !in_blackout {
+                    fc.blackouts += 1;
+                    in_blackout = true;
+                }
+                fc.blackout_rounds += 1;
                 continue; // the vantage saw nothing this round
+            }
+            in_blackout = false;
+            // Pure, keyed fault queries, evaluated (and counted) before
+            // the private restart draw below: the metrics-invariant suite
+            // recomputes the expected counts through the same public
+            // `FaultPlan` API, independent of the prober's internal RNG.
+            let storm = plan.storm_restart_at(block.id, r);
+            if storm.is_some() {
+                fc.storm_restarts += 1;
+            }
+            let burst_rate = plan.loss_at(block.id, r);
+            if burst_rate > 0.0 {
+                if !in_burst {
+                    fc.loss_bursts += 1;
+                }
+                in_burst = true;
+            } else {
+                in_burst = false;
             }
             let time = start_time + r * ROUND_SECONDS;
             let restarting = self.cfg.restart_interval_rounds.is_some_and(|k| r > 0 && r % k == 0);
             let mut dropped_probe = false;
             if restarting {
+                fc.cfg_restarts += 1;
                 // The prober process bounces: belief survives on disk, but
                 // this round's observation may be lost for this block, or a
                 // probe already in flight loses its response.
@@ -375,23 +414,26 @@ impl TrinocularProber {
                 }
                 dropped_probe = rng.chance(self.cfg.restart_negative_chance);
             }
-            if let Some((lost, dropped)) = plan.storm_restart_at(block.id, r) {
+            if let Some((lost, dropped)) = storm {
                 // An extra, unscheduled restart on top of the configured
                 // cadence — same loss semantics.
                 if lost {
+                    fc.storm_lost_rounds += 1;
                     continue;
                 }
                 dropped_probe |= dropped;
             }
-            let burst = match plan.loss_at(block.id, r) {
-                rate if rate > 0.0 => Some((plan.seed, rate)),
-                _ => None,
-            };
-            if let Some(rec) = self.round_inner(block, r, time, dropped_probe, burst) {
+            let burst = if burst_rate > 0.0 { Some((plan.seed, burst_rate)) } else { None };
+            if let Some(rec) =
+                self.round_inner(block, r, time, dropped_probe, burst, &mut fc.lost_probes)
+            {
                 records.push(rec);
             }
         }
-        plan.mangle_records(block.id, &mut records);
+        let (dups, swaps) = plan.mangle_records(block.id, &mut records);
+        fc.duplicates = dups;
+        fc.reorders = swaps;
+        self.flush_run_metrics(self.total_probes - probes_before, &fc);
         if plan.mangles_order() {
             // Duplicated/reordered streams legitimately violate the
             // strict-ascending invariant `BlockRun::new` asserts; build
@@ -420,7 +462,49 @@ impl TrinocularProber {
             let (slot, octet) = plan.churn_slot(block.id, draw as u64, self.walk.len());
             self.walk[slot] = octet;
         }
+        let obs = sleepwatch_obs::global();
+        obs.probing.eb_refreshes.incr();
+        obs.probing.churned_slots.add(n as u64);
     }
+
+    /// One-shot metrics flush for a completed run (see the batching note
+    /// in [`run_with_faults`](Self::run_with_faults)).
+    fn flush_run_metrics(&self, probes: u64, fc: &FaultCounts) {
+        let obs = sleepwatch_obs::global();
+        if !obs.probing.runs.enabled() {
+            return;
+        }
+        obs.probing.runs.incr();
+        obs.probing.probes_sent.add(probes);
+        let f = &obs.probing.faults;
+        f.loss_bursts.add(fc.loss_bursts);
+        f.lost_probes.add(fc.lost_probes);
+        f.blackouts.add(fc.blackouts);
+        f.blackout_rounds.add(fc.blackout_rounds);
+        f.storm_restarts.add(fc.storm_restarts);
+        f.storm_lost_rounds.add(fc.storm_lost_rounds);
+        f.truncations.add(fc.truncations);
+        f.truncated_rounds.add(fc.truncated_rounds);
+        f.duplicates.add(fc.duplicates);
+        f.reorders.add(fc.reorders);
+        f.cfg_restarts.add(fc.cfg_restarts);
+    }
+}
+
+/// Per-run fault tallies, accumulated locally and flushed once.
+#[derive(Default)]
+struct FaultCounts {
+    loss_bursts: u64,
+    lost_probes: u64,
+    blackouts: u64,
+    blackout_rounds: u64,
+    storm_restarts: u64,
+    storm_lost_rounds: u64,
+    truncations: u64,
+    truncated_rounds: u64,
+    duplicates: u64,
+    reorders: u64,
+    cfg_restarts: u64,
 }
 
 #[cfg(test)]

@@ -350,6 +350,9 @@ impl World {
             })
             .collect();
 
+        let obs = sleepwatch_obs::global();
+        obs.simnet.worlds_generated.incr();
+        obs.simnet.blocks_generated.add(cfg.num_blocks as u64);
         World { cfg, blocks, registry, geodb, as_records }
     }
 

@@ -41,3 +41,18 @@ fn faulted_world_dataset_matches_golden_across_threads() {
 fn conformance_faults_alter_the_dataset() {
     assert_ne!(fixtures::world_dataset_tsv(2), fixtures::faulted_world_dataset_tsv(2));
 }
+
+/// Observability inertness: with the metrics registry disabled the
+/// pipeline must still reproduce the recorded goldens byte-for-byte (the
+/// instrumentation is write-only and cannot steer behaviour). Toggling the
+/// global registry is safe here — every test in this suite is
+/// metrics-state independent by construction.
+#[test]
+fn goldens_hold_with_metrics_disabled() {
+    sleepwatch_obs::set_global_enabled(false);
+    let plain = fixtures::world_dataset_tsv(2);
+    let faulted = fixtures::faulted_world_dataset_tsv(2);
+    sleepwatch_obs::set_global_enabled(true);
+    assert_golden("world_small.tsv", &plain);
+    assert_golden("world_small_faulted.tsv", &faulted);
+}

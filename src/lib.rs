@@ -23,6 +23,7 @@
 //! | [`linktype`] | `sleepwatch-linktype` | reverse-DNS link-technology classification |
 //! | [`availability`] | `sleepwatch-availability` | the §2.1 estimators and timeseries cleaning |
 //! | [`probing`] | `sleepwatch-probing` | Trinocular adaptive probing and full surveys |
+//! | [`obs`] | `sleepwatch-obs` | zero-overhead-when-off metrics, stage timers, run reports |
 //! | [`core`] | `sleepwatch-core` | the end-to-end pipeline and aggregations |
 //!
 //! # Quickstart
@@ -58,6 +59,7 @@ pub use sleepwatch_availability as availability;
 pub use sleepwatch_core as core;
 pub use sleepwatch_geoecon as geoecon;
 pub use sleepwatch_linktype as linktype;
+pub use sleepwatch_obs as obs;
 pub use sleepwatch_probing as probing;
 pub use sleepwatch_simnet as simnet;
 pub use sleepwatch_spectral as spectral;

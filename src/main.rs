@@ -85,12 +85,9 @@ fn cmd_analyze(a: &Args) -> ExitCode {
             a.days
         );
     }
-    eprintln!("analyzing {} blocks over {} days…", a.blocks, a.days);
-    let progress = |done: usize, total: usize| {
-        if done % 2_000 == 0 {
-            eprintln!("  {done}/{total}");
-        }
-    };
+    let reporter = sleepwatch::obs::Reporter::new("analyze");
+    reporter.note(&format!("analyzing {} blocks over {} days…", a.blocks, a.days));
+    let progress = |done: usize, total: usize| reporter.report(done, total);
     let analysis = analyze_world(&world, &cfg, a.threads, Some(&progress));
 
     let (strict, sf) = analysis.strict_fraction();

@@ -38,3 +38,16 @@ fn ablate_gaps_report_matches_golden() {
     let out = run("ablate-gaps", &ctx()).expect("ablate-gaps exists");
     assert_golden("experiment_ablate_gaps.txt", &render(&out));
 }
+
+/// Observability inertness: the same experiment reports reproduce
+/// byte-for-byte with the metrics registry disabled. (Safe to toggle
+/// concurrently — every test here is metrics-state independent.)
+#[test]
+fn experiment_goldens_hold_with_metrics_disabled() {
+    sleepwatch::obs::set_global_enabled(false);
+    let fig1 = run("fig1", &ctx()).expect("fig1 exists");
+    let gaps = run("ablate-gaps", &ctx()).expect("ablate-gaps exists");
+    sleepwatch::obs::set_global_enabled(true);
+    assert_golden("experiment_fig1.txt", &render(&fig1));
+    assert_golden("experiment_ablate_gaps.txt", &render(&gaps));
+}
