@@ -14,6 +14,7 @@
 use crate::worldrun::{WorldAnalysis, WorldBlockReport};
 use sleepwatch_spectral::DiurnalClass;
 use std::io::{self, BufRead, Write};
+use std::path::{Path, PathBuf};
 
 /// Column header written (and required on import).
 const HEADER: &str = "#block_id\tclass\tphase\tmean_a\tstrongest_cpd\tstationary\toutages\tprobes\tlon\tlat\tcountry\tcentroid\talloc\tasn\tlinks";
@@ -103,6 +104,68 @@ pub fn write_dataset<W: Write>(w: &mut W, analysis: &WorldAnalysis) -> io::Resul
         write_row(w, r)?;
     }
     Ok(())
+}
+
+/// Errors from the path-based dataset entry points, carrying the file
+/// the failure happened on so callers can surface an actionable message.
+/// Hand-rolled (no derive-macro dependency), like [`ParseError`].
+#[derive(Debug)]
+pub enum ExportError {
+    /// IO failure reading or writing `path`.
+    Io {
+        /// File involved.
+        path: PathBuf,
+        /// Underlying error.
+        source: io::Error,
+    },
+    /// `path` held a malformed dataset.
+    Parse {
+        /// File involved.
+        path: PathBuf,
+        /// What was malformed.
+        source: ParseError,
+    },
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            ExportError::Parse { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExportError::Io { source, .. } => Some(source),
+            ExportError::Parse { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Writes the dataset to a file (created or truncated), buffered, with
+/// the failing path carried in the error.
+pub fn write_dataset_file(path: &Path, analysis: &WorldAnalysis) -> Result<(), ExportError> {
+    let err = |source| ExportError::Io { path: path.to_path_buf(), source };
+    let file = std::fs::File::create(path).map_err(err)?;
+    let mut w = io::BufWriter::new(file);
+    write_dataset(&mut w, analysis).map_err(err)?;
+    w.flush().map_err(err)
+}
+
+/// Reads a dataset file written by [`write_dataset_file`], with the
+/// failing path carried in the error.
+pub fn read_dataset_file(path: &Path) -> Result<Vec<DatasetRow>, ExportError> {
+    let file = std::fs::File::open(path)
+        .map_err(|source| ExportError::Io { path: path.to_path_buf(), source })?;
+    read_dataset(io::BufReader::new(file))
+        .map_err(|source| ExportError::Parse { path: path.to_path_buf(), source })
 }
 
 /// Errors from [`read_dataset`].
@@ -278,6 +341,28 @@ mod tests {
         buf.extend_from_slice(b"\n\n");
         let rows = read_dataset(buf.as_slice()).unwrap();
         assert_eq!(rows.len(), a.reports.len());
+    }
+
+    #[test]
+    fn file_roundtrip_and_error_paths() {
+        let a = analysis();
+        let dir = std::env::temp_dir().join(format!("swexport-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.tsv");
+        write_dataset_file(&path, &a).unwrap();
+        let rows = read_dataset_file(&path).unwrap();
+        assert_eq!(rows.len(), a.reports.len());
+        // A missing file names itself in the error.
+        let missing = dir.join("nope.tsv");
+        let err = read_dataset_file(&missing).unwrap_err();
+        assert!(matches!(err, ExportError::Io { .. }));
+        assert!(err.to_string().contains("nope.tsv"));
+        // A malformed file surfaces as a parse error with the path.
+        std::fs::write(&path, "wrong header\n").unwrap();
+        let err = read_dataset_file(&path).unwrap_err();
+        assert!(matches!(err, ExportError::Parse { .. }));
+        assert!(err.to_string().contains("ds.tsv"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

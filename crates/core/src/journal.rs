@@ -1,0 +1,627 @@
+//! Checkpoint journal for world runs: a crash-safe, append-only WAL of
+//! completed [`WorldBlockReport`]s.
+//!
+//! The paper's `A12w` collection ran for 35 days and visibly survived
+//! prober restarts; a reproduction at that scale needs the same property.
+//! [`crate::analyze_world_resumable`] appends every finished block to a
+//! journal file and, on restart, replays it to skip work already done —
+//! the resumed run's output is byte-identical to an uninterrupted one.
+//!
+//! # Format
+//!
+//! One file: a 48-byte header followed by fixed-width 84-byte records,
+//! all little-endian, each frame closed by a CRC32 (IEEE) over its body.
+//!
+//! ```text
+//! header  (48 B): magic u64 | world_seed u64 | num_blocks u64 |
+//!                 rounds u64 | start_time u64 | crc32 u32 | pad [0u8; 4]
+//! record  (84 B): magic u32 | flags u16 | class u8 | region u8 |
+//!                 block_id u64 | phase f64 | strongest_cpd f64 |
+//!                 mean_a f64 | outages u32 | asn u32 | total_probes u64 |
+//!                 lon f64 | lat f64 | country [u8; 2] | alloc_year u16 |
+//!                 alloc_month u8 | pad u8 | link_mask u16 | crc32 u32
+//! ```
+//!
+//! Floats are raw IEEE-754 bit patterns, so replay reproduces every value
+//! exactly. Decoding is *total*: any input — truncated, bit-flipped,
+//! garbage — yields `None` rather than a panic, and replay keeps only the
+//! longest valid prefix, discarding the damaged suffix. Appends are
+//! batched to the OS and `fsync`'d every [`SYNC_EVERY`] records and on
+//! [`JournalWriter::sync`], bounding how much work a crash can lose.
+
+use crate::worldrun::WorldBlockReport;
+use sleepwatch_geoecon::allocation::YearMonth;
+use sleepwatch_geoecon::country::by_code;
+use sleepwatch_geoecon::geolocate::Location;
+use sleepwatch_geoecon::region::Region;
+use sleepwatch_linktype::LinkFeature;
+use sleepwatch_spectral::DiurnalClass;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Byte length of the journal header.
+pub const HEADER_LEN: usize = 48;
+/// Byte length of one block record.
+pub const RECORD_LEN: usize = 84;
+/// Records between `fsync` calls (a crash loses at most this many
+/// appended-but-unsynced records; replay re-analyzes them).
+pub const SYNC_EVERY: u32 = 64;
+
+const FILE_MAGIC: u64 = 0x534C_5057_4A4E_4C31; // "SLPWJNL1"
+const REC_MAGIC: u32 = 0x424C_4B52; // "BLKR"
+
+const FLAG_PHASE: u16 = 0x01;
+const FLAG_STATIONARY: u16 = 0x02;
+const FLAG_LOCATED: u16 = 0x04;
+const FLAG_CENTROID: u16 = 0x08;
+const FLAG_PLANTED: u16 = 0x10;
+const FLAG_REGION: u16 = 0x20;
+const FLAG_ALL: u16 = 0x3F;
+
+// CRC32 (IEEE 802.3), table built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = (c >> 8) ^ CRC_TABLE[((c ^ b as u32) & 0xFF) as usize];
+    }
+    !c
+}
+
+/// Identity of the run a journal belongs to. Replay refuses to resume
+/// from a journal whose header names a different world or analysis
+/// configuration — resuming across runs would silently mix datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Seed of the generated world.
+    pub world_seed: u64,
+    /// Number of blocks in the world.
+    pub num_blocks: u64,
+    /// Analysis rounds per block.
+    pub rounds: u64,
+    /// Absolute start time of the observation.
+    pub start_time: u64,
+}
+
+/// Errors from opening or resuming a journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// The file holds a valid journal for a *different* run.
+    HeaderMismatch {
+        /// Header the caller's run would write.
+        expected: JournalHeader,
+        /// Header found in the file.
+        found: JournalHeader,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal io error: {e}"),
+            JournalError::HeaderMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different run (found {found:?}, expected {expected:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Encodes the header frame.
+pub fn encode_header(h: &JournalHeader) -> [u8; HEADER_LEN] {
+    let mut buf = [0u8; HEADER_LEN];
+    buf[0..8].copy_from_slice(&FILE_MAGIC.to_le_bytes());
+    buf[8..16].copy_from_slice(&h.world_seed.to_le_bytes());
+    buf[16..24].copy_from_slice(&h.num_blocks.to_le_bytes());
+    buf[24..32].copy_from_slice(&h.rounds.to_le_bytes());
+    buf[32..40].copy_from_slice(&h.start_time.to_le_bytes());
+    let crc = crc32(&buf[0..40]);
+    buf[40..44].copy_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+fn le_u16(b: &[u8]) -> u16 {
+    u16::from_le_bytes([b[0], b[1]])
+}
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Decodes a header frame; `None` on any damage.
+pub fn decode_header(bytes: &[u8]) -> Option<JournalHeader> {
+    if bytes.len() < HEADER_LEN {
+        return None;
+    }
+    if crc32(&bytes[0..40]) != le_u32(&bytes[40..44]) {
+        return None;
+    }
+    if le_u64(&bytes[0..8]) != FILE_MAGIC || bytes[44..48] != [0, 0, 0, 0] {
+        return None;
+    }
+    Some(JournalHeader {
+        world_seed: le_u64(&bytes[8..16]),
+        num_blocks: le_u64(&bytes[16..24]),
+        rounds: le_u64(&bytes[24..32]),
+        start_time: le_u64(&bytes[32..40]),
+    })
+}
+
+/// Encodes one completed block. Returns `None` for the (defensively
+/// handled, practically unreachable) case of a report the fixed-width
+/// frame cannot represent faithfully — e.g. a located country code absent
+/// from the country table. Such blocks are simply not journaled and are
+/// re-analyzed on resume.
+pub fn encode_record(r: &WorldBlockReport) -> Option<[u8; RECORD_LEN]> {
+    let mut flags = 0u16;
+    let mut buf = [0u8; RECORD_LEN];
+    buf[0..4].copy_from_slice(&REC_MAGIC.to_le_bytes());
+    let class = match r.summary.class {
+        DiurnalClass::Strict => 0u8,
+        DiurnalClass::Relaxed => 1,
+        DiurnalClass::NonDiurnal => 2,
+    };
+    buf[6] = class;
+    buf[7] = match r.region {
+        Some(region) => {
+            flags |= FLAG_REGION;
+            Region::ALL.iter().position(|&x| x == region)? as u8
+        }
+        None => 0xFF,
+    };
+    buf[8..16].copy_from_slice(&r.summary.block_id.to_le_bytes());
+    if let Some(phase) = r.summary.phase {
+        flags |= FLAG_PHASE;
+        buf[16..24].copy_from_slice(&phase.to_bits().to_le_bytes());
+    }
+    buf[24..32].copy_from_slice(&r.summary.strongest_cpd.to_bits().to_le_bytes());
+    buf[32..40].copy_from_slice(&r.summary.mean_a.to_bits().to_le_bytes());
+    buf[40..44].copy_from_slice(&r.summary.outages.to_le_bytes());
+    buf[44..48].copy_from_slice(&r.asn.to_le_bytes());
+    buf[48..56].copy_from_slice(&r.summary.total_probes.to_le_bytes());
+    if let Some(loc) = r.location {
+        flags |= FLAG_LOCATED;
+        if loc.centroid_fallback {
+            flags |= FLAG_CENTROID;
+        }
+        // The country must round-trip through the table so decode can
+        // restore the same `&'static str`.
+        let code = by_code(loc.country)?.code.as_bytes();
+        if code.len() != 2 {
+            return None;
+        }
+        buf[56..64].copy_from_slice(&loc.lon.to_bits().to_le_bytes());
+        buf[64..72].copy_from_slice(&loc.lat.to_bits().to_le_bytes());
+        buf[72..74].copy_from_slice(code);
+    }
+    buf[74..76].copy_from_slice(&r.alloc_date.year.to_le_bytes());
+    buf[76] = r.alloc_date.month;
+    if r.summary.stationary {
+        flags |= FLAG_STATIONARY;
+    }
+    if r.planted_diurnal {
+        flags |= FLAG_PLANTED;
+    }
+    let mut mask = 0u16;
+    for f in &r.link_features {
+        mask |= 1 << f.index();
+    }
+    buf[78..80].copy_from_slice(&mask.to_le_bytes());
+    buf[4..6].copy_from_slice(&flags.to_le_bytes());
+    let crc = crc32(&buf[0..80]);
+    buf[80..84].copy_from_slice(&crc.to_le_bytes());
+    Some(buf)
+}
+
+/// Decodes one record frame. Total: `None` on any damage or internal
+/// inconsistency, never a panic. Validation order: CRC first (rejects
+/// random corruption), then magic, then every field and cross-field
+/// consistency rule the encoder guarantees.
+pub fn decode_record(bytes: &[u8]) -> Option<WorldBlockReport> {
+    if bytes.len() < RECORD_LEN {
+        return None;
+    }
+    let b = &bytes[0..RECORD_LEN];
+    if crc32(&b[0..80]) != le_u32(&b[80..84]) {
+        return None;
+    }
+    if le_u32(&b[0..4]) != REC_MAGIC {
+        return None;
+    }
+    let flags = le_u16(&b[4..6]);
+    if flags & !FLAG_ALL != 0 || b[77] != 0 {
+        return None;
+    }
+    let class = match b[6] {
+        0 => DiurnalClass::Strict,
+        1 => DiurnalClass::Relaxed,
+        2 => DiurnalClass::NonDiurnal,
+        _ => return None,
+    };
+    let region = if flags & FLAG_REGION != 0 {
+        Some(*Region::ALL.get(b[7] as usize)?)
+    } else {
+        if b[7] != 0xFF {
+            return None;
+        }
+        None
+    };
+    let phase = if flags & FLAG_PHASE != 0 {
+        Some(f64::from_bits(le_u64(&b[16..24])))
+    } else {
+        if le_u64(&b[16..24]) != 0 {
+            return None;
+        }
+        None
+    };
+    let location = if flags & FLAG_LOCATED != 0 {
+        let code = std::str::from_utf8(&b[72..74]).ok()?;
+        let country = by_code(code)?.code;
+        Some(Location {
+            lon: f64::from_bits(le_u64(&b[56..64])),
+            lat: f64::from_bits(le_u64(&b[64..72])),
+            country,
+            centroid_fallback: flags & FLAG_CENTROID != 0,
+        })
+    } else {
+        // An unlocated block must have the location fields zeroed (and no
+        // centroid flag): anything else is corruption.
+        if flags & FLAG_CENTROID != 0
+            || le_u64(&b[56..64]) != 0
+            || le_u64(&b[64..72]) != 0
+            || b[72..74] != [0, 0]
+        {
+            return None;
+        }
+        None
+    };
+    let month = b[76];
+    if !(1..=12).contains(&month) {
+        return None;
+    }
+    let mask = le_u16(&b[78..80]);
+    let mut link_features = Vec::new();
+    for (i, &f) in LinkFeature::ALL.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            link_features.push(f);
+        }
+    }
+    Some(WorldBlockReport {
+        summary: crate::analyze::BlockSummary {
+            block_id: le_u64(&b[8..16]),
+            class,
+            phase,
+            strongest_cpd: f64::from_bits(le_u64(&b[24..32])),
+            mean_a: f64::from_bits(le_u64(&b[32..40])),
+            stationary: flags & FLAG_STATIONARY != 0,
+            outages: le_u32(&b[40..44]),
+            total_probes: le_u64(&b[48..56]),
+        },
+        location,
+        region,
+        alloc_date: YearMonth::new(le_u16(&b[74..76]), month),
+        link_features,
+        asn: le_u32(&b[44..48]),
+        planted_diurnal: flags & FLAG_PLANTED != 0,
+    })
+}
+
+/// Outcome of replaying a journal file's bytes.
+#[derive(Debug)]
+pub enum ReplayOutcome {
+    /// No usable prefix (empty file, or damage starting in the header):
+    /// the journal must be rewritten from scratch.
+    Fresh {
+        /// Whole-or-partial record frames dropped with the damage.
+        discarded: u64,
+    },
+    /// A valid prefix was recovered.
+    Resumed {
+        /// Every block report in the valid prefix, in append order.
+        reports: Vec<WorldBlockReport>,
+        /// Byte length of the valid prefix (header + intact records);
+        /// the file should be truncated here before appending resumes.
+        valid_len: u64,
+        /// Damaged or partial trailing frames discarded.
+        discarded: u64,
+    },
+    /// The header is intact but names a different run.
+    HeaderMismatch {
+        /// Header found in the file.
+        found: JournalHeader,
+    },
+}
+
+/// Replays journal `bytes` against the run identity `expect`. Total —
+/// never panics, whatever the input. Replay stops at the first damaged
+/// frame and reports everything before it; the damaged suffix (counted in
+/// whole-record units, rounded up) is discarded.
+pub fn replay_bytes(bytes: &[u8], expect: &JournalHeader) -> ReplayOutcome {
+    let frames = |len: usize| len.div_ceil(RECORD_LEN) as u64;
+    if bytes.is_empty() {
+        return ReplayOutcome::Fresh { discarded: 0 };
+    }
+    let header = match decode_header(bytes) {
+        Some(h) => h,
+        // Damage inside the header poisons everything after it.
+        None => return ReplayOutcome::Fresh { discarded: frames(bytes.len()) },
+    };
+    if header != *expect {
+        return ReplayOutcome::HeaderMismatch { found: header };
+    }
+    let mut reports = Vec::new();
+    let mut offset = HEADER_LEN;
+    while offset + RECORD_LEN <= bytes.len() {
+        match decode_record(&bytes[offset..offset + RECORD_LEN]) {
+            Some(r) => reports.push(r),
+            None => break,
+        }
+        offset += RECORD_LEN;
+    }
+    ReplayOutcome::Resumed {
+        reports,
+        valid_len: offset as u64,
+        discarded: frames(bytes.len() - offset),
+    }
+}
+
+/// Append handle for a journal file positioned at the end of its valid
+/// prefix. Records are `fsync`'d every [`SYNC_EVERY`] appends and on
+/// [`sync`](Self::sync).
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    unsynced: u32,
+}
+
+impl JournalWriter {
+    /// Appends one completed block. Returns `Ok(false)` when the report
+    /// cannot be represented in the fixed-width frame (the block is
+    /// skipped, not corrupted — see [`encode_record`]).
+    pub fn append(&mut self, report: &WorldBlockReport) -> io::Result<bool> {
+        let Some(frame) = encode_record(report) else {
+            return Ok(false);
+        };
+        self.file.write_all(&frame)?;
+        self.unsynced += 1;
+        if self.unsynced >= SYNC_EVERY {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        sleepwatch_obs::global().resilience.journal_records_written.incr();
+        Ok(true)
+    }
+
+    /// Forces appended records to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.unsynced = 0;
+        self.file.sync_data()
+    }
+}
+
+/// Replay statistics from [`open_resume`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Records recovered from the journal.
+    pub replayed: u64,
+    /// Damaged or partial trailing frames discarded.
+    pub discarded: u64,
+}
+
+/// Opens (or creates) the journal at `path` for the run identified by
+/// `header`: replays any existing contents, truncates away a damaged
+/// tail, and returns a writer positioned for appending plus the recovered
+/// reports. Errors only on IO failure or a well-formed header from a
+/// different run — corruption never errors, it only shrinks the prefix.
+pub fn open_resume(
+    path: &Path,
+    header: &JournalHeader,
+) -> Result<(JournalWriter, Vec<WorldBlockReport>, ReplayStats), JournalError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.into()),
+    };
+    let (reports, valid_len, stats) = match replay_bytes(&bytes, header) {
+        ReplayOutcome::HeaderMismatch { found } => {
+            return Err(JournalError::HeaderMismatch { expected: *header, found });
+        }
+        ReplayOutcome::Fresh { discarded } => {
+            (Vec::new(), 0u64, ReplayStats { replayed: 0, discarded })
+        }
+        ReplayOutcome::Resumed { reports, valid_len, discarded } => {
+            let stats = ReplayStats { replayed: reports.len() as u64, discarded };
+            (reports, valid_len, stats)
+        }
+    };
+    let mut file =
+        OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+    if valid_len == 0 {
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&encode_header(header))?;
+    } else {
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::Start(valid_len))?;
+    }
+    file.sync_data()?;
+    let obs = sleepwatch_obs::global();
+    obs.resilience.journal_records_replayed.add(stats.replayed);
+    obs.resilience.journal_records_discarded.add(stats.discarded);
+    Ok((JournalWriter { file, unsynced: 0 }, reports, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::BlockSummary;
+
+    fn sample_report(id: u64) -> WorldBlockReport {
+        WorldBlockReport {
+            summary: BlockSummary {
+                block_id: id,
+                class: DiurnalClass::Strict,
+                phase: Some(1.25),
+                strongest_cpd: 1.0,
+                mean_a: 0.625,
+                stationary: true,
+                outages: 3,
+                total_probes: 4_321,
+            },
+            location: Some(Location {
+                lon: 103.8,
+                lat: 1.35,
+                country: by_code("SG").unwrap().code,
+                centroid_fallback: false,
+            }),
+            region: Some(Region::ALL[4]),
+            alloc_date: YearMonth::new(1998, 7),
+            link_features: vec![LinkFeature::ALL[0], LinkFeature::ALL[9]],
+            asn: 64_500,
+            planted_diurnal: true,
+        }
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader { world_seed: 21, num_blocks: 60, rounds: 523, start_time: 1_000 }
+    }
+
+    fn assert_roundtrip(r: &WorldBlockReport) {
+        let frame = encode_record(r).expect("encodable");
+        let back = decode_record(&frame).expect("decodable");
+        assert_eq!(format!("{r:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn record_roundtrips_exactly() {
+        assert_roundtrip(&sample_report(7));
+        // Unlocated, region-less, featureless, phaseless.
+        let mut r = sample_report(8);
+        r.location = None;
+        r.region = None;
+        r.summary.phase = None;
+        r.link_features.clear();
+        r.summary.stationary = false;
+        r.planted_diurnal = false;
+        assert_roundtrip(&r);
+    }
+
+    #[test]
+    fn header_roundtrips_and_rejects_damage() {
+        let h = header();
+        let buf = encode_header(&h);
+        assert_eq!(decode_header(&buf), Some(h));
+        for i in 0..HEADER_LEN {
+            let mut bad = buf;
+            bad[i] ^= 0x40;
+            assert_eq!(decode_header(&bad), None, "flip at byte {i} undetected");
+        }
+        assert_eq!(decode_header(&buf[..HEADER_LEN - 1]), None);
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_a_record_is_caught() {
+        let frame = encode_record(&sample_report(3)).unwrap();
+        for bit in 0..RECORD_LEN * 8 {
+            let mut bad = frame;
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(decode_record(&bad).is_none(), "bit flip {bit} undetected");
+        }
+    }
+
+    #[test]
+    fn replay_keeps_valid_prefix_and_discards_damaged_tail() {
+        let h = header();
+        let mut bytes = encode_header(&h).to_vec();
+        for id in 0..5 {
+            bytes.extend_from_slice(&encode_record(&sample_report(id)).unwrap());
+        }
+        // Corrupt record 3 and truncate record 4 in half.
+        let r3 = HEADER_LEN + 3 * RECORD_LEN;
+        bytes[r3 + 10] ^= 0xFF;
+        bytes.truncate(HEADER_LEN + 4 * RECORD_LEN + RECORD_LEN / 2);
+        match replay_bytes(&bytes, &h) {
+            ReplayOutcome::Resumed { reports, valid_len, discarded } => {
+                assert_eq!(reports.len(), 3);
+                assert_eq!(valid_len as usize, HEADER_LEN + 3 * RECORD_LEN);
+                assert_eq!(discarded, 2);
+            }
+            other => panic!("expected resume, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_flags_foreign_headers() {
+        let other = JournalHeader { world_seed: 99, ..header() };
+        let bytes = encode_header(&other);
+        assert!(matches!(
+            replay_bytes(&bytes, &header()),
+            ReplayOutcome::HeaderMismatch { found } if found == other
+        ));
+    }
+
+    #[test]
+    fn replay_of_garbage_is_fresh() {
+        assert!(matches!(replay_bytes(&[], &header()), ReplayOutcome::Fresh { discarded: 0 }));
+        let junk = vec![0xA5u8; 200];
+        assert!(matches!(replay_bytes(&junk, &header()), ReplayOutcome::Fresh { .. }));
+    }
+
+    #[test]
+    fn open_resume_creates_replays_and_truncates() {
+        let dir = std::env::temp_dir().join(format!("swjournal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit.journal");
+        let _ = std::fs::remove_file(&path);
+        let h = header();
+        {
+            let (mut w, reports, stats) = open_resume(&path, &h).unwrap();
+            assert!(reports.is_empty());
+            assert_eq!(stats, ReplayStats::default());
+            for id in 0..4 {
+                assert!(w.append(&sample_report(id)).unwrap());
+            }
+            w.sync().unwrap();
+        }
+        // Sever mid-record and resume.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - RECORD_LEN / 3]).unwrap();
+        let (_w, reports, stats) = open_resume(&path, &h).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(stats, ReplayStats { replayed: 3, discarded: 1 });
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), (HEADER_LEN + 3 * RECORD_LEN) as u64);
+        // A different run must refuse the file.
+        let foreign = JournalHeader { rounds: 1, ..h };
+        assert!(matches!(open_resume(&path, &foreign), Err(JournalError::HeaderMismatch { .. })));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -32,6 +32,7 @@ pub mod aggregate;
 pub mod analyze;
 pub mod applications;
 pub mod export;
+pub mod journal;
 pub mod streaming;
 pub mod timeofday;
 pub mod worldrun;
@@ -41,7 +42,14 @@ pub use analyze::{
     analyze_block, analyze_series, unroll_phase, AnalysisConfig, BlockAnalysis, BlockSummary,
 };
 pub use applications::{correct_snapshot, estimate_size, SizeEstimate};
-pub use export::{read_dataset, write_dataset, DatasetRow, ParseError};
+pub use export::{
+    read_dataset, read_dataset_file, write_dataset, write_dataset_file, DatasetRow, ExportError,
+    ParseError,
+};
+pub use journal::{JournalError, JournalHeader, ReplayStats};
 pub use streaming::{OnlineConfig, OnlineDetector};
 pub use timeofday::{activity_pattern, peak_local_hour, peak_utc_hour, ActivityPattern};
-pub use worldrun::{analyze_world, analyze_world_with_report, WorldAnalysis, WorldBlockReport};
+pub use worldrun::{
+    analyze_world, analyze_world_resumable, analyze_world_resumable_with_report,
+    analyze_world_with_report, BlockOutcome, Quarantine, WorldAnalysis, WorldBlockReport,
+};

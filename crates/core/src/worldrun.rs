@@ -1,15 +1,25 @@
 //! World-scale analysis: run the per-block pipeline over every block of a
 //! synthetic world in parallel, and join results with geolocation, reverse
 //! DNS link classification, allocation dates, and country economics.
+//!
+//! Resilience: workers wrap each block in `catch_unwind`, so one poisoned
+//! block is quarantined (recorded in [`WorldAnalysis::quarantined`])
+//! instead of aborting the run, and [`analyze_world_resumable`] journals
+//! every completed block to an append-only checkpoint file
+//! ([`crate::journal`]) so a killed process resumes where it stopped with
+//! byte-identical output.
 
 use crate::analyze::{analyze_block, AnalysisConfig, BlockSummary};
+use crate::journal::{self, JournalError, JournalHeader, JournalWriter};
 use sleepwatch_geoecon::allocation::YearMonth;
-use sleepwatch_geoecon::country::COUNTRIES;
+use sleepwatch_geoecon::country::by_code;
 use sleepwatch_geoecon::geolocate::Location;
 use sleepwatch_geoecon::region::Region;
 use sleepwatch_linktype::{classify_block, LinkFeature};
 use sleepwatch_obs::{RunReport, Snapshot, Stage, StageTimer};
 use sleepwatch_simnet::{ptr_names, World};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One block's measurement, joined with every external data source the
@@ -33,11 +43,258 @@ pub struct WorldBlockReport {
     pub planted_diurnal: bool,
 }
 
+/// A block whose analysis panicked and was quarantined instead of
+/// aborting the world run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantine {
+    /// Id of the poisoned block.
+    pub block_id: u64,
+    /// The panic message, for postmortem triage.
+    pub diagnostic: String,
+}
+
+/// Outcome of one block's trip through a worker.
+#[derive(Debug, Clone)]
+pub enum BlockOutcome {
+    /// The pipeline completed normally.
+    Analyzed(WorldBlockReport),
+    /// The pipeline panicked; the block is excluded from every
+    /// aggregation and reported explicitly.
+    Quarantined {
+        /// Id of the poisoned block.
+        block_id: u64,
+        /// The panic message.
+        diagnostic: String,
+    },
+}
+
 /// The analyzed world.
 #[derive(Debug)]
 pub struct WorldAnalysis {
-    /// Per-block joined reports, in block order.
+    /// Per-block joined reports, in block order (quarantined blocks are
+    /// absent — aggregations skip them by construction).
     pub reports: Vec<WorldBlockReport>,
+    /// Blocks whose analysis panicked, in block order. Empty on healthy
+    /// runs; deterministic across thread counts and schedules.
+    pub quarantined: Vec<Quarantine>,
+}
+
+/// Test-only failure injection. Hidden from docs and never armed outside
+/// tests: the fast path is a single relaxed atomic load.
+#[doc(hidden)]
+pub mod hooks {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    static ARMED: AtomicBool = AtomicBool::new(false);
+    static PLANTED: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    /// Makes the analysis of block `block_id` panic (until cleared).
+    pub fn plant_block_panic(block_id: u64) {
+        PLANTED.lock().unwrap().push(block_id);
+        ARMED.store(true, Ordering::SeqCst);
+    }
+
+    /// Removes every planted panic.
+    pub fn clear_block_panics() {
+        PLANTED.lock().unwrap().clear();
+        ARMED.store(false, Ordering::SeqCst);
+    }
+
+    pub(crate) fn fire(block_id: u64) {
+        if !ARMED.load(Ordering::Relaxed) {
+            return;
+        }
+        // Decide before panicking: the guard must be dropped first, or the
+        // poisoned mutex would cascade panics into innocent workers.
+        let planted = PLANTED.lock().unwrap().contains(&block_id);
+        if planted {
+            panic!("planted panic for block {block_id}");
+        }
+    }
+}
+
+/// The full pipeline for one block: analysis plus every external join.
+fn analyze_one(world: &World, i: usize, cfg: &AnalysisConfig) -> WorldBlockReport {
+    let block = &world.blocks[i];
+    hooks::fire(block.id);
+    let analysis = analyze_block(block, cfg);
+    let country = world.country_of(block);
+    let location = world.geodb.locate(block.id, country, block.lon, block.lat);
+    // Lookup-or-`None`: an out-of-table country code degrades this one
+    // block to region-less instead of panicking a worker.
+    let region = location.and_then(|l| match by_code(l.country) {
+        Some(c) => Some(c.region),
+        None => {
+            sleepwatch_obs::global().geo.unknown_countries.incr();
+            None
+        }
+    });
+    let names = ptr_names(block);
+    let label = classify_block(names.iter().map(|o| o.as_deref()));
+    WorldBlockReport {
+        summary: analysis.summary(),
+        location,
+        region,
+        alloc_date: block.alloc_date,
+        link_features: label.kept_features(),
+        asn: block.asn,
+        planted_diurnal: block.planted_diurnal,
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Flushes a worker's local batch: journals completed reports (disabling
+/// the journal on the first write error — the run itself must not die for
+/// a full disk), then publishes outcomes into the shared slots.
+fn flush_batch(
+    local: &mut Vec<(usize, BlockOutcome)>,
+    slots_mutex: &parking_lot::Mutex<&mut Vec<Option<BlockOutcome>>>,
+    journal: Option<&parking_lot::Mutex<Option<JournalWriter>>>,
+) {
+    if let Some(j) = journal {
+        let mut jw = j.lock();
+        if let Some(w) = jw.as_mut() {
+            let mut failed = false;
+            for (_, outcome) in local.iter() {
+                if let BlockOutcome::Analyzed(rep) = outcome {
+                    if let Err(e) = w.append(rep) {
+                        eprintln!("[journal] write failed, journaling disabled: {e}");
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if failed {
+                *jw = None;
+            }
+        }
+    }
+    let mut guard = slots_mutex.lock();
+    for (idx, outcome) in local.drain(..) {
+        guard[idx] = Some(outcome);
+    }
+}
+
+/// Shared driver behind [`analyze_world`] and
+/// [`analyze_world_resumable`]. `prefilled` carries journal-replayed
+/// outcomes by slot index (empty for a fresh run); workers skip those
+/// slots. Output depends only on the world and config — not on thread
+/// count, schedule, journal presence, or how much was replayed.
+fn run_world(
+    world: &World,
+    cfg: &AnalysisConfig,
+    threads: usize,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+    journal: Option<&parking_lot::Mutex<Option<JournalWriter>>>,
+    prefilled: Vec<Option<BlockOutcome>>,
+) -> WorldAnalysis {
+    let obs = sleepwatch_obs::global();
+    let _total_timer = StageTimer::start(obs.pipeline.stage(Stage::Total));
+    let n = world.blocks.len();
+    let threads = threads.max(1);
+    obs.world.runs.incr();
+    obs.world.blocks_total.add(n as u64);
+    obs.world.max_world_blocks.raise(n as u64);
+    // Pre-warm the FFT plan for the nominal series length so workers start
+    // from a populated cache instead of racing to plan it. Cleaning's
+    // midnight trim can shorten some series; those lengths are planned once
+    // on first use through the same cache. (`prewarm`, not `plan_for`:
+    // warmup is not a caller-visible lookup and must not skew the
+    // hit/miss-vs-transform accounting.)
+    sleepwatch_spectral::prewarm(cfg.rounds as usize);
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let mut slots: Vec<Option<BlockOutcome>> = prefilled;
+    slots.resize_with(n, || None);
+    let skip: Vec<bool> = slots.iter().map(Option::is_some).collect();
+    let base = skip.iter().filter(|&&s| s).count();
+    let slots_mutex = parking_lot::Mutex::new(&mut slots);
+
+    crossbeam::thread::scope(|s| {
+        for worker in 0..threads {
+            // Rebind as shared references so `move` captures copies, not
+            // the owned atomics/mutex themselves.
+            let (next, done, slots_mutex, skip) = (&next, &done, &slots_mutex, &skip);
+            s.spawn(move |_| {
+                let mut local: Vec<(usize, BlockOutcome)> = Vec::new();
+                let mut blocks_done = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if skip[i] {
+                        continue; // replayed from the journal
+                    }
+                    let outcome =
+                        match catch_unwind(AssertUnwindSafe(|| analyze_one(world, i, cfg))) {
+                            Ok(rep) => BlockOutcome::Analyzed(rep),
+                            Err(payload) => {
+                                obs.resilience.blocks_quarantined.incr();
+                                BlockOutcome::Quarantined {
+                                    block_id: world.blocks[i].id,
+                                    diagnostic: panic_message(payload),
+                                }
+                            }
+                        };
+                    local.push((i, outcome));
+                    blocks_done += 1;
+                    let d = done.fetch_add(1, Ordering::Relaxed) + 1 + base;
+                    if let Some(cb) = progress {
+                        // Final (n, n) is reported by the calling thread
+                        // after the join; workers only emit strictly
+                        // intermediate counts.
+                        if d % 500 == 0 && d < n {
+                            cb(d, n);
+                        }
+                    }
+                    // Flush periodically to bound local memory.
+                    if local.len() >= 256 {
+                        flush_batch(&mut local, slots_mutex, journal);
+                    }
+                }
+                flush_batch(&mut local, slots_mutex, journal);
+                obs.world.worker_blocks.add(worker, blocks_done);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    let (reports, quarantined) = {
+        let _t = StageTimer::start(obs.pipeline.stage(Stage::Join));
+        let mut reports = Vec::with_capacity(n);
+        let mut quarantined = Vec::new();
+        for s in slots.into_iter().map(|s| s.expect("every block analyzed")) {
+            match s {
+                BlockOutcome::Analyzed(r) => reports.push(r),
+                BlockOutcome::Quarantined { block_id, diagnostic } => {
+                    quarantined.push(Quarantine { block_id, diagnostic });
+                }
+            }
+        }
+        (reports, quarantined)
+    };
+    if let Some(j) = journal {
+        if let Some(w) = j.lock().as_mut() {
+            if let Err(e) = w.sync() {
+                eprintln!("[journal] final sync failed: {e}");
+            }
+        }
+    }
+    if let Some(cb) = progress {
+        cb(n, n);
+    }
+    WorldAnalysis { reports, quarantined }
 }
 
 /// Analyzes every block of `world` with `cfg`, using `threads` worker
@@ -57,100 +314,47 @@ pub fn analyze_world(
     threads: usize,
     progress: Option<&(dyn Fn(usize, usize) + Sync)>,
 ) -> WorldAnalysis {
-    let obs = sleepwatch_obs::global();
-    let _total_timer = StageTimer::start(obs.pipeline.stage(Stage::Total));
+    run_world(world, cfg, threads, progress, None, Vec::new())
+}
+
+/// [`analyze_world`] with a crash-safe checkpoint journal at
+/// `journal_path`: every completed block is appended to the journal
+/// (fsync'd every [`journal::SYNC_EVERY`] records), and if the file
+/// already holds a valid prefix for this exact run — same world seed,
+/// block count, rounds and start time — those blocks are replayed instead
+/// of recomputed. A truncated or bit-flipped tail costs only the damaged
+/// suffix. The analysis is byte-identical to an uninterrupted
+/// [`analyze_world`] at any thread count.
+///
+/// Errors only on IO failure or when the journal belongs to a different
+/// run; corruption never errors.
+pub fn analyze_world_resumable(
+    world: &World,
+    cfg: &AnalysisConfig,
+    threads: usize,
+    journal_path: &Path,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> Result<WorldAnalysis, JournalError> {
     let n = world.blocks.len();
-    let threads = threads.max(1);
-    obs.world.runs.incr();
-    obs.world.blocks_total.add(n as u64);
-    obs.world.max_world_blocks.raise(n as u64);
-    // Pre-warm the FFT plan for the nominal series length so workers start
-    // from a populated cache instead of racing to plan it. Cleaning's
-    // midnight trim can shorten some series; those lengths are planned once
-    // on first use through the same cache. (`prewarm`, not `plan_for`:
-    // warmup is not a caller-visible lookup and must not skew the
-    // hit/miss-vs-transform accounting.)
-    sleepwatch_spectral::prewarm(cfg.rounds as usize);
-    let next = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
-    let mut slots: Vec<Option<WorldBlockReport>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let slots_mutex = parking_lot::Mutex::new(&mut slots);
-
-    crossbeam::thread::scope(|s| {
-        for worker in 0..threads {
-            // Rebind as shared references so `move` captures copies, not
-            // the owned atomics/mutex themselves.
-            let (next, done, slots_mutex) = (&next, &done, &slots_mutex);
-            s.spawn(move |_| {
-                let mut local: Vec<(usize, WorldBlockReport)> = Vec::new();
-                let mut blocks_done = 0u64;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let block = &world.blocks[i];
-                    let analysis = analyze_block(block, cfg);
-                    let country = world.country_of(block);
-                    let location = world.geodb.locate(block.id, country, block.lon, block.lat);
-                    let region = location.map(|l| {
-                        COUNTRIES
-                            .iter()
-                            .find(|c| c.code == l.country)
-                            .expect("location country comes from the table")
-                            .region
-                    });
-                    let names = ptr_names(block);
-                    let label = classify_block(names.iter().map(|o| o.as_deref()));
-                    local.push((
-                        i,
-                        WorldBlockReport {
-                            summary: analysis.summary(),
-                            location,
-                            region,
-                            alloc_date: block.alloc_date,
-                            link_features: label.kept_features(),
-                            asn: block.asn,
-                            planted_diurnal: block.planted_diurnal,
-                        },
-                    ));
-                    blocks_done += 1;
-                    let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if let Some(cb) = progress {
-                        // Final (n, n) is reported by the calling thread
-                        // after the join; workers only emit strictly
-                        // intermediate counts.
-                        if d % 500 == 0 && d < n {
-                            cb(d, n);
-                        }
-                    }
-                    // Flush periodically to bound local memory.
-                    if local.len() >= 256 {
-                        let mut guard = slots_mutex.lock();
-                        for (idx, rep) in local.drain(..) {
-                            guard[idx] = Some(rep);
-                        }
-                    }
-                }
-                let mut guard = slots_mutex.lock();
-                for (idx, rep) in local.drain(..) {
-                    guard[idx] = Some(rep);
-                }
-                obs.world.worker_blocks.add(worker, blocks_done);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    let reports = {
-        let _t = StageTimer::start(obs.pipeline.stage(Stage::Join));
-        slots.into_iter().map(|s| s.expect("every block analyzed")).collect()
+    let header = JournalHeader {
+        world_seed: world.cfg.seed,
+        num_blocks: n as u64,
+        rounds: cfg.rounds,
+        start_time: cfg.start_time,
     };
-    if let Some(cb) = progress {
-        cb(n, n);
+    let (writer, replayed, _stats) = journal::open_resume(journal_path, &header)?;
+    let mut prefilled: Vec<Option<BlockOutcome>> = Vec::with_capacity(n);
+    prefilled.resize_with(n, || None);
+    for rep in replayed {
+        let idx = rep.summary.block_id as usize;
+        // Defensive: only trust records that name a real slot of this
+        // world (generated worlds satisfy `blocks[i].id == i`).
+        if idx < n && world.blocks[idx].id == rep.summary.block_id && prefilled[idx].is_none() {
+            prefilled[idx] = Some(BlockOutcome::Analyzed(rep));
+        }
     }
-    WorldAnalysis { reports }
+    let jmutex = parking_lot::Mutex::new(Some(writer));
+    Ok(run_world(world, cfg, threads, progress, Some(&jmutex), prefilled))
 }
 
 /// [`analyze_world`], additionally returning a [`RunReport`] isolating the
@@ -175,8 +379,29 @@ pub fn analyze_world_with_report(
     (analysis, report)
 }
 
+/// [`analyze_world_resumable`] with the same [`RunReport`] wrapper as
+/// [`analyze_world_with_report`].
+pub fn analyze_world_resumable_with_report(
+    world: &World,
+    cfg: &AnalysisConfig,
+    threads: usize,
+    journal_path: &Path,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+    label: &str,
+) -> Result<(WorldAnalysis, RunReport), JournalError> {
+    let obs = sleepwatch_obs::global();
+    let before = Snapshot::capture(obs);
+    let start = std::time::Instant::now();
+    let analysis = analyze_world_resumable(world, cfg, threads, journal_path, progress)?;
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let snapshot = Snapshot::capture(obs).delta(&before);
+    let report =
+        RunReport { label: label.to_string(), threads: threads.max(1), wall_seconds, snapshot };
+    Ok((analysis, report))
+}
+
 impl WorldAnalysis {
-    /// Number of blocks analyzed.
+    /// Number of blocks analyzed (quarantined blocks excluded).
     pub fn len(&self) -> usize {
         self.reports.len()
     }
@@ -243,6 +468,7 @@ mod tests {
     fn every_block_reported_in_order() {
         let a = tiny_analysis();
         assert_eq!(a.len(), 60);
+        assert!(a.quarantined.is_empty());
         for (i, r) in a.reports.iter().enumerate() {
             assert_eq!(r.summary.block_id, i as u64);
         }
@@ -384,5 +610,27 @@ mod tests {
         assert!(df >= sf);
         let (tp, fp, fneg, tn) = a.confusion_vs_planted();
         assert_eq!(tp + fp + fneg + tn, a.len());
+    }
+
+    #[test]
+    fn resumable_without_prior_journal_matches_plain_run() {
+        let world = World::generate(WorldConfig {
+            num_blocks: 20,
+            seed: 11,
+            span_days: 3.0,
+            ..Default::default()
+        });
+        let cfg = AnalysisConfig::over_days(world.cfg.start_time, 3.0);
+        let dir = std::env::temp_dir().join(format!("swworldrun-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fresh.journal");
+        let _ = std::fs::remove_file(&path);
+        let plain = analyze_world(&world, &cfg, 2, None);
+        let resumable = analyze_world_resumable(&world, &cfg, 2, &path, None).unwrap();
+        assert_eq!(format!("{:?}", plain.reports), format!("{:?}", resumable.reports));
+        // And a second pass replays everything from the journal.
+        let replayed = analyze_world_resumable(&world, &cfg, 2, &path, None).unwrap();
+        assert_eq!(format!("{:?}", plain.reports), format!("{:?}", replayed.reports));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,7 +1,9 @@
 //! Shared infrastructure for the experiment harness: options, the cached
 //! world run, table rendering and CSV output.
 
-use sleepwatch_core::{analyze_world_with_report, AnalysisConfig, WorldAnalysis};
+use sleepwatch_core::{
+    analyze_world_resumable_with_report, analyze_world_with_report, AnalysisConfig, WorldAnalysis,
+};
 use sleepwatch_obs::{Reporter, RunReport};
 use sleepwatch_probing::TrinocularConfig;
 use sleepwatch_simnet::{World, WorldConfig};
@@ -21,6 +23,10 @@ pub struct Options {
     pub threads: usize,
     /// Directory for CSV outputs (`None` disables writing).
     pub out_dir: Option<PathBuf>,
+    /// Directory for the world-run checkpoint journal (`None` disables
+    /// journaling). With a journal, an interrupted world run resumes from
+    /// its completed blocks instead of starting over.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -30,6 +36,7 @@ impl Default for Options {
             scale: 1.0,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             out_dir: Some(PathBuf::from("results")),
+            journal: None,
         }
     }
 }
@@ -112,13 +119,61 @@ impl Context {
                 Self::WORLD_DAYS
             ));
             let progress = |done: usize, total: usize| reporter.report(done, total);
-            let (analysis, report) = analyze_world_with_report(
-                &world,
-                &cfg,
-                self.opts.threads,
-                Some(&progress),
-                "world",
-            );
+            let (analysis, report) = match &self.opts.journal {
+                Some(dir) => {
+                    // One journal per (seed, size) pair: a different run
+                    // must never resume from this file.
+                    let path = dir.join(format!(
+                        "world-s{}-b{}.journal",
+                        world.cfg.seed,
+                        world.blocks.len()
+                    ));
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        reporter.note(&format!(
+                            "journal dir {} unusable ({e}); running without checkpoints",
+                            dir.display()
+                        ));
+                        analyze_world_with_report(
+                            &world,
+                            &cfg,
+                            self.opts.threads,
+                            Some(&progress),
+                            "world",
+                        )
+                    } else {
+                        match analyze_world_resumable_with_report(
+                            &world,
+                            &cfg,
+                            self.opts.threads,
+                            &path,
+                            Some(&progress),
+                            "world",
+                        ) {
+                            Ok(pair) => pair,
+                            Err(e) => {
+                                reporter.note(&format!(
+                                    "journal {} unusable ({e}); running without checkpoints",
+                                    path.display()
+                                ));
+                                analyze_world_with_report(
+                                    &world,
+                                    &cfg,
+                                    self.opts.threads,
+                                    Some(&progress),
+                                    "world",
+                                )
+                            }
+                        }
+                    }
+                }
+                None => analyze_world_with_report(
+                    &world,
+                    &cfg,
+                    self.opts.threads,
+                    Some(&progress),
+                    "world",
+                ),
+            };
             let _ = self.world_report.set(report);
             (world, analysis)
         })

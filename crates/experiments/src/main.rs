@@ -8,6 +8,8 @@
 //!   --scale <X>     population scale multiplier (default 1.0)
 //!   --threads <N>   worker threads (default: available parallelism)
 //!   --out <DIR>     CSV output directory (default: results; `-` disables)
+//!   --journal <DIR> checkpoint the shared world run to DIR and resume
+//!                   from an earlier interrupted run's journal
 //!   --list          print all experiment ids
 //! ```
 
@@ -17,9 +19,29 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--seed N] [--scale X] [--threads N] [--out DIR] [--list] <ID|all>..."
+        "usage: experiments [--seed N] [--scale X] [--threads N] [--out DIR] [--journal DIR] \
+         [--list] <ID|all>..."
     );
     std::process::exit(2);
+}
+
+/// Reports exactly which flag was malformed, then exits: `--seed x` and
+/// `--threads x` must not fall into the same generic usage message.
+fn bad_flag(flag: &str, value: Option<&str>) -> ! {
+    match value {
+        Some(v) => eprintln!("error: invalid value {v:?} for {flag}"),
+        None => eprintln!("error: {flag} requires a value"),
+    }
+    std::process::exit(2);
+}
+
+/// Parses the value of `flag`, naming the flag in any error.
+fn parse_flag<T: std::str::FromStr>(flag: &str, args: &mut impl Iterator<Item = String>) -> T {
+    let Some(raw) = args.next() else { bad_flag(flag, None) };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => bad_flag(flag, Some(&raw)),
+    }
 }
 
 fn main() -> ExitCode {
@@ -28,18 +50,16 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--seed" => {
-                opts.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--scale" => {
-                opts.scale = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--threads" => {
-                opts.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
+            "--seed" => opts.seed = parse_flag("--seed", &mut args),
+            "--scale" => opts.scale = parse_flag("--scale", &mut args),
+            "--threads" => opts.threads = parse_flag("--threads", &mut args),
             "--out" => {
-                let dir = args.next().unwrap_or_else(|| usage());
+                let Some(dir) = args.next() else { bad_flag("--out", None) };
                 opts.out_dir = if dir == "-" { None } else { Some(dir.into()) };
+            }
+            "--journal" => {
+                let Some(dir) = args.next() else { bad_flag("--journal", None) };
+                opts.journal = Some(dir.into());
             }
             "--list" => {
                 for id in ALL_IDS {
@@ -48,7 +68,10 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => usage(),
-            other if other.starts_with('-') => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag {other}");
+                usage();
+            }
             id => ids.push(id.to_string()),
         }
     }
@@ -78,6 +101,7 @@ fn main() -> ExitCode {
                         .and_then(|_| std::fs::write(dir.join(format!("{}.csv", out.id)), &out.csv))
                     {
                         eprintln!("[{}] could not write CSV: {e}", out.id);
+                        failed = true;
                     }
                     // Observability artifact: the run's metric activity
                     // (snapshot delta) next to its CSV. Shared-world cost
@@ -92,6 +116,7 @@ fn main() -> ExitCode {
                         std::fs::write(dir.join(format!("{}.report.tsv", out.id)), report.to_tsv())
                     {
                         eprintln!("[{}] could not write report: {e}", out.id);
+                        failed = true;
                     }
                 }
             }

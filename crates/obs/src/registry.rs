@@ -27,6 +27,12 @@ pub struct ProbingMetrics {
     pub eb_refreshes: Counter,
     /// Individual E(b) slots replaced by churn events.
     pub churned_slots: Counter,
+    /// Vantage-recovery retry attempts made while a vantage was dark
+    /// (only when retry is configured; see `VantageRetryConfig`).
+    pub vantage_retries: Counter,
+    /// Rounds estimated in degraded single-vantage mode after the retry
+    /// budget was exhausted.
+    pub degraded_rounds: Counter,
     /// Fault-event counters, by kind.
     pub faults: FaultMetrics,
 }
@@ -136,12 +142,28 @@ pub struct GeoMetrics {
     pub locate_hits: Counter,
     /// Block lookups with no geolocation entry.
     pub locate_misses: Counter,
+    /// Located blocks whose country code had no entry in the country
+    /// table (the block degrades to country-less instead of panicking).
+    pub unknown_countries: Counter,
 }
 
 /// Link-type classification counters.
 pub struct LinktypeMetrics {
     /// Blocks classified by access-link type.
     pub blocks_classified: Counter,
+}
+
+/// Crash-safety counters: panic quarantine and the checkpoint journal.
+pub struct ResilienceMetrics {
+    /// Blocks whose analysis panicked and was quarantined instead of
+    /// aborting the world run.
+    pub blocks_quarantined: Counter,
+    /// Block records appended to a checkpoint journal.
+    pub journal_records_written: Counter,
+    /// Block records recovered from a journal on resume.
+    pub journal_records_replayed: Counter,
+    /// Damaged or partial trailing records discarded during replay.
+    pub journal_records_discarded: Counter,
 }
 
 /// The full metric registry, one instance per enabled/disabled state.
@@ -164,6 +186,8 @@ pub struct Registry {
     pub geo: GeoMetrics,
     /// Link-type classification.
     pub linktype: LinktypeMetrics,
+    /// Crash safety: quarantine and checkpoint journal.
+    pub resilience: ResilienceMetrics,
 }
 
 impl Registry {
@@ -179,6 +203,8 @@ impl Registry {
                 runs: Counter::new(on),
                 eb_refreshes: Counter::new(on),
                 churned_slots: Counter::new(on),
+                vantage_retries: Counter::new(on),
+                degraded_rounds: Counter::new(on),
                 faults: FaultMetrics {
                     loss_bursts: Counter::new(on),
                     lost_probes: Counter::new(on),
@@ -233,8 +259,18 @@ impl Registry {
                 worlds_generated: Counter::new(on),
                 blocks_generated: Counter::new(on),
             },
-            geo: GeoMetrics { locate_hits: Counter::new(on), locate_misses: Counter::new(on) },
+            geo: GeoMetrics {
+                locate_hits: Counter::new(on),
+                locate_misses: Counter::new(on),
+                unknown_countries: Counter::new(on),
+            },
             linktype: LinktypeMetrics { blocks_classified: Counter::new(on) },
+            resilience: ResilienceMetrics {
+                blocks_quarantined: Counter::new(on),
+                journal_records_written: Counter::new(on),
+                journal_records_replayed: Counter::new(on),
+                journal_records_discarded: Counter::new(on),
+            },
         }
     }
 }

@@ -38,6 +38,8 @@ impl Snapshot {
         c.insert("probing.runs", reg.probing.runs.get());
         c.insert("probing.eb_refreshes", reg.probing.eb_refreshes.get());
         c.insert("probing.churned_slots", reg.probing.churned_slots.get());
+        c.insert("probing.vantage_retries", reg.probing.vantage_retries.get());
+        c.insert("probing.degraded_rounds", reg.probing.degraded_rounds.get());
         let f = &reg.probing.faults;
         c.insert("faults.loss_bursts", f.loss_bursts.get());
         c.insert("faults.lost_probes", f.lost_probes.get());
@@ -68,7 +70,13 @@ impl Snapshot {
         c.insert("simnet.blocks_generated", reg.simnet.blocks_generated.get());
         c.insert("geo.locate_hits", reg.geo.locate_hits.get());
         c.insert("geo.locate_misses", reg.geo.locate_misses.get());
+        c.insert("geo.unknown_countries", reg.geo.unknown_countries.get());
         c.insert("linktype.blocks_classified", reg.linktype.blocks_classified.get());
+        let r = &reg.resilience;
+        c.insert("resilience.blocks_quarantined", r.blocks_quarantined.get());
+        c.insert("resilience.journal_records_written", r.journal_records_written.get());
+        c.insert("resilience.journal_records_replayed", r.journal_records_replayed.get());
+        c.insert("resilience.journal_records_discarded", r.journal_records_discarded.get());
 
         s.histograms.insert("cleaning.fill_fraction", reg.cleaning.fill_fraction.snapshot());
         for stage in Stage::ALL {

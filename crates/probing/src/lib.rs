@@ -44,4 +44,6 @@ pub use faults::{Blackout, EChurn, FaultPlan, LossBurst, RestartStorm};
 pub use multisite::{agreement, merge_states, merged_outages, MergedOutage, MergedState};
 pub use record::{BlockRun, RoundRecord};
 pub use survey::{survey_block, survey_block_with_faults, SurveyResult};
-pub use trinocular::{BlockState, OutageEvent, TrinocularConfig, TrinocularProber};
+pub use trinocular::{
+    BlockState, OutageEvent, TrinocularConfig, TrinocularProber, VantageRetryConfig,
+};

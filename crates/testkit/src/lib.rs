@@ -11,7 +11,9 @@
 //!   adaptive confusion), runnable under every
 //!   [`FaultPlan`](sleepwatch_probing::FaultPlan) preset;
 //! * [`metamorphic`] — input transformations with provable output effects
-//!   (rotation ⇒ exact phase advance, scaling/permutation ⇒ invariance).
+//!   (rotation ⇒ exact phase advance, scaling/permutation ⇒ invariance);
+//! * [`resilience`] — fixtures for the kill-and-resume journal oracle and
+//!   the panic-quarantine conformance suites.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,5 +22,6 @@ pub mod fixtures;
 pub mod golden;
 pub mod metamorphic;
 pub mod oracles;
+pub mod resilience;
 
 pub use golden::{assert_golden, golden_threads, goldens_dir};

@@ -4,7 +4,7 @@
 use sleepwatch_experiments::{run, Context, Options, ALL_IDS};
 
 fn tiny_ctx() -> Context {
-    Context::new(Options { seed: 5, scale: 0.01, threads: 2, out_dir: None })
+    Context::new(Options { seed: 5, scale: 0.01, threads: 2, out_dir: None, journal: None })
 }
 
 #[test]
@@ -28,7 +28,8 @@ fn unknown_id_is_rejected() {
 
 #[test]
 fn world_metrics_are_in_range_at_small_scale() {
-    let ctx = Context::new(Options { seed: 9, scale: 0.05, threads: 2, out_dir: None });
+    let ctx =
+        Context::new(Options { seed: 9, scale: 0.05, threads: 2, out_dir: None, journal: None });
     let out = run("fig10", &ctx).unwrap();
     let strict: f64 = out.metric("strict_frac").unwrap().parse().unwrap();
     assert!((0.02..0.35).contains(&strict), "strict fraction {strict}");
@@ -49,7 +50,8 @@ fn world_metrics_are_in_range_at_small_scale() {
 
 #[test]
 fn gdp_correlation_is_negative() {
-    let ctx = Context::new(Options { seed: 9, scale: 0.05, threads: 2, out_dir: None });
+    let ctx =
+        Context::new(Options { seed: 9, scale: 0.05, threads: 2, out_dir: None, journal: None });
     let out = run("fig16", &ctx).unwrap();
     let r: f64 = out.metric("r").unwrap().parse().unwrap();
     assert!(r < -0.2, "GDP correlation should be clearly negative, got {r}");
