@@ -83,19 +83,101 @@ pub fn clean_series(
     start_time: u64,
     sample_seconds: u64,
 ) -> (Vec<f64>, f64) {
-    let sparse = bucket_rounds(obs, n_rounds);
-    let (dense, filled) = fill_gaps(&sparse);
+    let mut scratch = CleanScratch::new();
+    let mut out = Vec::new();
+    let fill_frac =
+        clean_series_into(obs, n_rounds, start_time, sample_seconds, &mut scratch, &mut out);
+    (out, fill_frac)
+}
+
+/// Reusable workspace for [`clean_series_into`]. Grow-only: buffers are
+/// cleared between blocks but keep their capacity, so a steady stream of
+/// same-sized blocks cleans without touching the allocator.
+#[derive(Debug, Default)]
+pub struct CleanScratch {
+    sparse: Vec<Option<f64>>,
+}
+
+impl CleanScratch {
+    /// An empty workspace; the first use sizes it.
+    pub fn new() -> Self {
+        CleanScratch::default()
+    }
+
+    /// Bytes currently reserved, capacity not length.
+    pub fn footprint_bytes(&self) -> usize {
+        self.sparse.capacity() * std::mem::size_of::<Option<f64>>()
+    }
+
+    /// Test-only: fill the workspace with garbage that a correct
+    /// [`clean_series_into`] must fully overwrite or ignore.
+    #[doc(hidden)]
+    pub fn poison(&mut self, seed: u64) {
+        self.sparse.clear();
+        self.sparse.extend((0..113u64).map(|i| {
+            if i % 3 == 0 {
+                None
+            } else {
+                Some(f64::NAN + seed as f64)
+            }
+        }));
+    }
+}
+
+/// [`clean_series`] writing into caller-provided buffers — the
+/// zero-allocation steady-state path. `out` is cleared and receives the
+/// trimmed series; the return value is the fill fraction. Output is
+/// byte-identical to [`clean_series`] regardless of prior scratch/`out`
+/// contents.
+pub fn clean_series_into(
+    obs: &[(u64, f64)],
+    n_rounds: usize,
+    start_time: u64,
+    sample_seconds: u64,
+    scratch: &mut CleanScratch,
+    out: &mut Vec<f64>,
+) -> f64 {
+    let sparse = &mut scratch.sparse;
+    sparse.clear();
+    sparse.resize(n_rounds, None);
+    for &(round, value) in obs {
+        if (round as usize) < n_rounds {
+            sparse[round as usize] = Some(value);
+        }
+    }
     let range = midnight_trim(start_time, n_rounds, sample_seconds);
-    let trimmed = dense[range].to_vec();
+    out.clear();
+    out.reserve(range.len());
+    // Fused gap-fill + trim: one walk over the full series (the fill
+    // fraction counts *all* rounds, exactly like `fill_gaps`), pushing
+    // only the samples inside the midnight-trimmed range.
+    let first = sparse.iter().flatten().copied().next().unwrap_or(0.0);
+    let mut filled = 0usize;
+    let mut last = first;
+    for (i, v) in sparse.iter().enumerate() {
+        let dense = match v {
+            Some(x) => {
+                last = *x;
+                *x
+            }
+            None => {
+                filled += 1;
+                last
+            }
+        };
+        if range.contains(&i) {
+            out.push(dense);
+        }
+    }
     let fill_frac = if n_rounds > 0 { filled as f64 / n_rounds as f64 } else { 0.0 };
     let obs_reg = sleepwatch_obs::global();
     if obs_reg.cleaning.series_cleaned.enabled() {
         obs_reg.cleaning.series_cleaned.incr();
-        obs_reg.cleaning.samples_out.add(trimmed.len() as u64);
+        obs_reg.cleaning.samples_out.add(out.len() as u64);
         obs_reg.cleaning.samples_filled.add(filled as u64);
         obs_reg.cleaning.fill_fraction.record(fill_frac);
     }
-    (trimmed, fill_frac)
+    fill_frac
 }
 
 #[cfg(test)]
@@ -200,6 +282,26 @@ mod tests {
         // Trimmed to whole days: ends right before day-2 midnight.
         let expect_len = (2 * DAY_SECONDS - 1) / 660 + 1;
         assert_eq!(series.len(), expect_len as usize);
+    }
+
+    #[test]
+    fn clean_series_into_matches_allocating_path() {
+        let start = 1_366_823_880u64;
+        let n = 131 * 5;
+        let obs: Vec<(u64, f64)> =
+            (0..n as u64).filter(|r| r % 17 != 4).map(|r| (r, (r as f64).sin())).collect();
+        let (want, want_frac) = clean_series(&obs, n, start, 660);
+        let mut scratch = CleanScratch::new();
+        scratch.poison(99);
+        let mut out = vec![f64::NAN; 7];
+        let frac = clean_series_into(&obs, n, start, 660, &mut scratch, &mut out);
+        assert_eq!(out, want);
+        assert_eq!(frac.to_bits(), want_frac.to_bits());
+        // Reuse on a different series also matches.
+        let obs2: Vec<(u64, f64)> = (0..n as u64 / 2).map(|r| (r, 0.25)).collect();
+        let (want2, _) = clean_series(&obs2, n / 2, start, 660);
+        clean_series_into(&obs2, n / 2, start, 660, &mut scratch, &mut out);
+        assert_eq!(out, want2);
     }
 
     #[test]

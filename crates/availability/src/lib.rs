@@ -27,7 +27,9 @@
 pub mod cleaning;
 pub mod estimator;
 
-pub use cleaning::{bucket_rounds, clean_series, fill_gaps, midnight_trim};
+pub use cleaning::{
+    bucket_rounds, clean_series, clean_series_into, fill_gaps, midnight_trim, CleanScratch,
+};
 pub use estimator::{
     AvailabilityEstimator, DirectEwmaEstimator, Estimates, EwmaConfig, HoltEstimator,
 };

@@ -5,13 +5,15 @@
 //! trim it to midnight UTC (§2.2), then classify diurnality and extract
 //! phase from the spectrum (§2.2), with the stationarity screen alongside.
 
-use sleepwatch_availability::cleaning::clean_series;
+use sleepwatch_availability::cleaning::{clean_series_into, CleanScratch};
 use sleepwatch_obs::{Stage, StageTimer};
-use sleepwatch_probing::{BlockRun, FaultPlan, TrinocularConfig, TrinocularProber};
+use sleepwatch_probing::{
+    BlockRun, FaultPlan, ProberScratch, RoundRecord, TrinocularConfig, TrinocularProber,
+};
 use sleepwatch_simnet::{BlockSpec, ROUND_SECONDS};
 use sleepwatch_spectral::{
     classify, plan_for, trend_default, DiurnalClass, DiurnalConfig, DiurnalReport, Spectrum,
-    TrendReport,
+    SpectrumScratch, TrendReport,
 };
 
 /// Pipeline configuration.
@@ -69,7 +71,7 @@ pub struct BlockAnalysis {
 }
 
 /// Compact per-block result for world-scale aggregation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockSummary {
     /// Block id.
     pub block_id: u64,
@@ -96,48 +98,199 @@ pub fn analyze_series(series: &[f64], cfg: &DiurnalConfig) -> (DiurnalReport, Tr
     (classify(&spectrum, cfg), trend_default(series))
 }
 
-/// Runs the full pipeline over one block.
+/// Worker-local arena holding every buffer one block analysis needs:
+/// probe walk and records, `(round, Âs)` observations, cleaning
+/// workspace, the cleaned series and the spectral output/scratch.
 ///
-/// Each stage reports wall time into the [`sleepwatch_obs`] stage
-/// histograms; on the disabled registry the timers never read the clock.
-pub fn analyze_block(block: &BlockSpec, cfg: &AnalysisConfig) -> BlockAnalysis {
+/// Grow-only: buffers are cleared between blocks but never shrunk, so
+/// after one warm-up block a steady stream of same-length analyses runs
+/// with **zero heap allocations** (asserted by `tests/scratch_alloc.rs`).
+/// Every field is overwritten before use — outputs are independent of
+/// prior contents (property-tested in `tests/scratch_poison.rs`).
+#[derive(Debug, Default)]
+pub struct BlockScratch {
+    prober: ProberScratch,
+    records: Vec<RoundRecord>,
+    observations: Vec<(u64, f64)>,
+    clean: CleanScratch,
+    series: Vec<f64>,
+    spectrum: SpectrumScratch,
+}
+
+impl BlockScratch {
+    /// An empty arena; the first block sizes it.
+    pub fn new() -> Self {
+        BlockScratch::default()
+    }
+
+    /// Bytes currently reserved across all buffers (capacity, not
+    /// length). Feeds the `world.peak_block_bytes` gauge and the
+    /// grow-vs-reuse counters.
+    pub fn footprint_bytes(&self) -> usize {
+        self.prober.footprint_bytes()
+            + self.records.capacity() * std::mem::size_of::<RoundRecord>()
+            + self.observations.capacity() * std::mem::size_of::<(u64, f64)>()
+            + self.clean.footprint_bytes()
+            + self.series.capacity() * std::mem::size_of::<f64>()
+            + self.spectrum.footprint_bytes()
+    }
+
+    /// Test-only: fill every buffer with NaN/garbage that a correct
+    /// pipeline must fully overwrite or ignore.
+    #[doc(hidden)]
+    pub fn poison(&mut self, seed: u64) {
+        self.prober.poison(seed);
+        self.records.clear();
+        self.observations.clear();
+        self.observations.extend((0..89u64).map(|i| (seed.wrapping_add(i), f64::NAN)));
+        self.clean.poison(seed);
+        self.series.clear();
+        self.series.extend((0..71u64).map(|i| f64::NAN + (seed ^ i) as f64));
+        self.spectrum.poison(seed);
+    }
+}
+
+/// The pipeline body shared by [`analyze_block`] and
+/// [`analyze_block_with_scratch`]: every stage reads from and writes into
+/// `scratch`, allocating only when a buffer must grow.
+fn analyze_block_into(
+    block: &BlockSpec,
+    cfg: &AnalysisConfig,
+    scratch: &mut BlockScratch,
+) -> (BlockSummary, DiurnalReport, TrendReport, f64) {
     let obs = sleepwatch_obs::global();
-    let run = {
+    let track = obs.pipeline.scratch_reuses.enabled();
+    let footprint_before = if track { scratch.footprint_bytes() } else { 0 };
+    let (outages, total_probes) = {
         let _t = StageTimer::start(obs.pipeline.stage(Stage::Probe));
-        let mut prober = TrinocularProber::new(block, cfg.trinocular);
-        prober.run_with_faults(block, cfg.start_time, cfg.rounds, &cfg.faults)
+        let mut prober = TrinocularProber::new_reusing(block, cfg.trinocular, &mut scratch.prober);
+        prober.run_into_with_faults(
+            block,
+            cfg.start_time,
+            cfg.rounds,
+            &cfg.faults,
+            &mut scratch.records,
+        );
+        let counts = (prober.outages().len() as u32, prober.total_probes());
+        prober.recycle(&mut scratch.prober);
+        counts
     };
-    let observations = {
+    {
         let _t = StageTimer::start(obs.pipeline.stage(Stage::Estimate));
-        run.a_short_observations()
-    };
-    let (series, fill_fraction) = {
+        scratch.observations.clear();
+        scratch.observations.extend(scratch.records.iter().map(|r| (r.round, r.a_short)));
+    }
+    let fill_fraction = {
         let _t = StageTimer::start(obs.pipeline.stage(Stage::Clean));
-        clean_series(&observations, cfg.rounds as usize, cfg.start_time, ROUND_SECONDS)
+        clean_series_into(
+            &scratch.observations,
+            cfg.rounds as usize,
+            cfg.start_time,
+            ROUND_SECONDS,
+            &mut scratch.clean,
+            &mut scratch.series,
+        )
     };
-    let spectrum = {
+    {
         let _t = StageTimer::start(obs.pipeline.stage(Stage::Fft));
         // Every block of a run produces the same post-trim length, so this
         // hits the global plan cache after the first block — the FFT tables
         // are built once per world, not once per /24.
-        let plan = plan_for(series.len());
-        Spectrum::compute_with_plan(&series, sleepwatch_spectral::ROUND_SECONDS, &plan)
-    };
+        let plan = plan_for(scratch.series.len());
+        scratch.spectrum.compute_with_plan(
+            &scratch.series,
+            sleepwatch_spectral::ROUND_SECONDS,
+            &plan,
+        );
+    }
+    let spectrum = scratch.spectrum.spectrum();
     let (diurnal, trend) = {
         let _t = StageTimer::start(obs.pipeline.stage(Stage::Classify));
-        let mut diurnal = classify(&spectrum, &cfg.diurnal);
+        let mut diurnal = classify(spectrum, &cfg.diurnal);
         if fill_fraction > cfg.max_fill_fraction {
             // Too much interpolation to trust periodicity claims.
             diurnal.class = DiurnalClass::NonDiurnal;
             diurnal.phase = None;
             obs.pipeline.blocks_rejected.incr();
         }
-        (diurnal, trend_default(&series))
+        (diurnal, trend_default(&scratch.series))
     };
-    let mean_a_short =
-        if series.is_empty() { 0.0 } else { series.iter().sum::<f64>() / series.len() as f64 };
+    let strongest_cpd = spectrum.strongest_bin().map(|k| spectrum.cycles_per_day(k)).unwrap_or(0.0);
+    let mean_a_short = if scratch.series.is_empty() {
+        0.0
+    } else {
+        scratch.series.iter().sum::<f64>() / scratch.series.len() as f64
+    };
     obs.pipeline.blocks_analyzed.incr();
-    BlockAnalysis { block_id: block.id, run, series, fill_fraction, diurnal, trend, mean_a_short }
+    if track {
+        if scratch.footprint_bytes() > footprint_before {
+            obs.pipeline.scratch_grows.incr();
+        } else {
+            obs.pipeline.scratch_reuses.incr();
+        }
+    }
+    let summary = BlockSummary {
+        block_id: block.id,
+        class: diurnal.class,
+        phase: diurnal.phase,
+        strongest_cpd,
+        mean_a: mean_a_short,
+        stationary: trend.stationary,
+        outages,
+        total_probes,
+    };
+    (summary, diurnal, trend, fill_fraction)
+}
+
+/// Runs the full pipeline over one block reusing `scratch` — the
+/// zero-allocation steady-state path. Returns only the compact
+/// [`BlockSummary`]; the cleaned series and raw run live in `scratch`
+/// until the next call. The summary is identical to
+/// `analyze_block(block, cfg).summary()`.
+pub fn analyze_block_with_scratch(
+    block: &BlockSpec,
+    cfg: &AnalysisConfig,
+    scratch: &mut BlockScratch,
+) -> BlockSummary {
+    analyze_block_into(block, cfg, scratch).0
+}
+
+/// Runs the full pipeline over one block.
+///
+/// Each stage reports wall time into the [`sleepwatch_obs`] stage
+/// histograms; on the disabled registry the timers never read the clock.
+/// Thin wrapper over the scratch path: a fresh [`BlockScratch`] feeds
+/// [`analyze_block_into`] and is then dismantled into the owned
+/// [`BlockAnalysis`] — same per-call allocations as ever, byte-identical
+/// output.
+pub fn analyze_block(block: &BlockSpec, cfg: &AnalysisConfig) -> BlockAnalysis {
+    let mut scratch = BlockScratch::new();
+    let (summary, diurnal, trend, fill_fraction) = analyze_block_into(block, cfg, &mut scratch);
+    let BlockScratch { prober: mut prober_scratch, records, series, .. } = scratch;
+    let outages = prober_scratch.take_outages();
+    let run = if cfg.faults.mangles_order() {
+        // Mirrors `run_with_faults`: duplicated/reordered streams
+        // legitimately violate the strict-ascending invariant
+        // `BlockRun::new` asserts.
+        BlockRun {
+            block_id: block.id,
+            rounds: cfg.rounds,
+            records,
+            outages,
+            total_probes: summary.total_probes,
+        }
+    } else {
+        BlockRun::new(block.id, cfg.rounds, records, outages, summary.total_probes)
+    };
+    BlockAnalysis {
+        block_id: block.id,
+        run,
+        series,
+        fill_fraction,
+        diurnal,
+        trend,
+        mean_a_short: summary.mean_a,
+    }
 }
 
 impl BlockAnalysis {

@@ -39,7 +39,8 @@ pub mod worldrun;
 
 pub use aggregate::{AnovaFactors, CountryStat, OrgStat, AGE_REFERENCE};
 pub use analyze::{
-    analyze_block, analyze_series, unroll_phase, AnalysisConfig, BlockAnalysis, BlockSummary,
+    analyze_block, analyze_block_with_scratch, analyze_series, unroll_phase, AnalysisConfig,
+    BlockAnalysis, BlockScratch, BlockSummary,
 };
 pub use applications::{correct_snapshot, estimate_size, SizeEstimate};
 pub use export::{
@@ -50,6 +51,7 @@ pub use journal::{JournalError, JournalHeader, ReplayStats};
 pub use streaming::{OnlineConfig, OnlineDetector};
 pub use timeofday::{activity_pattern, peak_local_hour, peak_utc_hour, ActivityPattern};
 pub use worldrun::{
-    analyze_world, analyze_world_resumable, analyze_world_resumable_with_report,
-    analyze_world_with_report, BlockOutcome, Quarantine, WorldAnalysis, WorldBlockReport,
+    analyze_world, analyze_world_resumable, analyze_world_resumable_with_mode,
+    analyze_world_resumable_with_report, analyze_world_with_mode, analyze_world_with_report,
+    BlockOutcome, Quarantine, WorldAnalysis, WorldBlockReport, WorldRunMode,
 };

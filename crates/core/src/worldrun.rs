@@ -9,7 +9,9 @@
 //! ([`crate::journal`]) so a killed process resumes where it stopped with
 //! byte-identical output.
 
-use crate::analyze::{analyze_block, AnalysisConfig, BlockSummary};
+use crate::analyze::{
+    analyze_block, analyze_block_with_scratch, AnalysisConfig, BlockScratch, BlockSummary,
+};
 use crate::journal::{self, JournalError, JournalHeader, JournalWriter};
 use sleepwatch_geoecon::allocation::YearMonth;
 use sleepwatch_geoecon::country::by_code;
@@ -68,6 +70,20 @@ pub enum BlockOutcome {
     },
 }
 
+/// How much per-block detail a world run materializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorldRunMode {
+    /// Allocate a full `BlockAnalysis` (raw run, cleaned series) per
+    /// block and collapse it to a summary — the pre-scratch behaviour.
+    FullDetail,
+    /// Analyze through a worker-local [`BlockScratch`] arena and keep
+    /// only the [`WorldBlockReport`]: zero steady-state allocations per
+    /// block and far lower peak RSS. Output is byte-identical to
+    /// [`FullDetail`](Self::FullDetail); this is the default.
+    #[default]
+    SummaryOnly,
+}
+
 /// The analyzed world.
 #[derive(Debug)]
 pub struct WorldAnalysis {
@@ -115,10 +131,19 @@ pub mod hooks {
 }
 
 /// The full pipeline for one block: analysis plus every external join.
-fn analyze_one(world: &World, i: usize, cfg: &AnalysisConfig) -> WorldBlockReport {
+fn analyze_one(
+    world: &World,
+    i: usize,
+    cfg: &AnalysisConfig,
+    mode: WorldRunMode,
+    scratch: &mut BlockScratch,
+) -> WorldBlockReport {
     let block = &world.blocks[i];
     hooks::fire(block.id);
-    let analysis = analyze_block(block, cfg);
+    let summary = match mode {
+        WorldRunMode::FullDetail => analyze_block(block, cfg).summary(),
+        WorldRunMode::SummaryOnly => analyze_block_with_scratch(block, cfg, scratch),
+    };
     let country = world.country_of(block);
     let location = world.geodb.locate(block.id, country, block.lon, block.lat);
     // Lookup-or-`None`: an out-of-table country code degrades this one
@@ -133,7 +158,7 @@ fn analyze_one(world: &World, i: usize, cfg: &AnalysisConfig) -> WorldBlockRepor
     let names = ptr_names(block);
     let label = classify_block(names.iter().map(|o| o.as_deref()));
     WorldBlockReport {
-        summary: analysis.summary(),
+        summary,
         location,
         region,
         alloc_date: block.alloc_date,
@@ -197,6 +222,7 @@ fn run_world(
     progress: Option<&(dyn Fn(usize, usize) + Sync)>,
     journal: Option<&parking_lot::Mutex<Option<JournalWriter>>>,
     prefilled: Vec<Option<BlockOutcome>>,
+    mode: WorldRunMode,
 ) -> WorldAnalysis {
     let obs = sleepwatch_obs::global();
     let _total_timer = StageTimer::start(obs.pipeline.stage(Stage::Total));
@@ -226,7 +252,16 @@ fn run_world(
             // the owned atomics/mutex themselves.
             let (next, done, slots_mutex, skip) = (&next, &done, &slots_mutex, &skip);
             s.spawn(move |_| {
-                let mut local: Vec<(usize, BlockOutcome)> = Vec::new();
+                // Pre-sized once and recycled by `flush_batch`'s `drain`
+                // (which keeps capacity) — the batch never reallocates;
+                // `world.batch_grows` asserts that in the metrics suite.
+                const BATCH_CAPACITY: usize = 256;
+                let mut local: Vec<(usize, BlockOutcome)> = Vec::with_capacity(BATCH_CAPACITY);
+                // One arena per worker thread: after the first block every
+                // buffer is reused (outputs are independent of leftover
+                // contents — even a quarantined block's partial state —
+                // see `tests/scratch_poison.rs`).
+                let mut scratch = BlockScratch::new();
                 let mut blocks_done = 0u64;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -236,17 +271,21 @@ fn run_world(
                     if skip[i] {
                         continue; // replayed from the journal
                     }
-                    let outcome =
-                        match catch_unwind(AssertUnwindSafe(|| analyze_one(world, i, cfg))) {
-                            Ok(rep) => BlockOutcome::Analyzed(rep),
-                            Err(payload) => {
-                                obs.resilience.blocks_quarantined.incr();
-                                BlockOutcome::Quarantined {
-                                    block_id: world.blocks[i].id,
-                                    diagnostic: panic_message(payload),
-                                }
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                        analyze_one(world, i, cfg, mode, &mut scratch)
+                    })) {
+                        Ok(rep) => BlockOutcome::Analyzed(rep),
+                        Err(payload) => {
+                            obs.resilience.blocks_quarantined.incr();
+                            BlockOutcome::Quarantined {
+                                block_id: world.blocks[i].id,
+                                diagnostic: panic_message(payload),
                             }
-                        };
+                        }
+                    };
+                    if local.len() == local.capacity() {
+                        obs.world.batch_grows.incr();
+                    }
                     local.push((i, outcome));
                     blocks_done += 1;
                     let d = done.fetch_add(1, Ordering::Relaxed) + 1 + base;
@@ -259,12 +298,13 @@ fn run_world(
                         }
                     }
                     // Flush periodically to bound local memory.
-                    if local.len() >= 256 {
+                    if local.len() >= BATCH_CAPACITY {
                         flush_batch(&mut local, slots_mutex, journal);
                     }
                 }
                 flush_batch(&mut local, slots_mutex, journal);
                 obs.world.worker_blocks.add(worker, blocks_done);
+                obs.world.peak_block_bytes.raise(scratch.footprint_bytes() as u64);
             });
         }
     })
@@ -314,7 +354,21 @@ pub fn analyze_world(
     threads: usize,
     progress: Option<&(dyn Fn(usize, usize) + Sync)>,
 ) -> WorldAnalysis {
-    run_world(world, cfg, threads, progress, None, Vec::new())
+    analyze_world_with_mode(world, cfg, threads, progress, WorldRunMode::default())
+}
+
+/// [`analyze_world`] with an explicit [`WorldRunMode`]. Both modes produce
+/// byte-identical [`WorldBlockReport`]s (asserted by the `scratch_equiv`
+/// differential suite); [`WorldRunMode::SummaryOnly`] — the default — does
+/// it without per-block heap allocation.
+pub fn analyze_world_with_mode(
+    world: &World,
+    cfg: &AnalysisConfig,
+    threads: usize,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+    mode: WorldRunMode,
+) -> WorldAnalysis {
+    run_world(world, cfg, threads, progress, None, Vec::new(), mode)
 }
 
 /// [`analyze_world`] with a crash-safe checkpoint journal at
@@ -335,6 +389,26 @@ pub fn analyze_world_resumable(
     journal_path: &Path,
     progress: Option<&(dyn Fn(usize, usize) + Sync)>,
 ) -> Result<WorldAnalysis, JournalError> {
+    analyze_world_resumable_with_mode(
+        world,
+        cfg,
+        threads,
+        journal_path,
+        progress,
+        WorldRunMode::default(),
+    )
+}
+
+/// [`analyze_world_resumable`] with an explicit [`WorldRunMode`]; the
+/// journal format and resume semantics are mode-independent.
+pub fn analyze_world_resumable_with_mode(
+    world: &World,
+    cfg: &AnalysisConfig,
+    threads: usize,
+    journal_path: &Path,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+    mode: WorldRunMode,
+) -> Result<WorldAnalysis, JournalError> {
     let n = world.blocks.len();
     let header = JournalHeader {
         world_seed: world.cfg.seed,
@@ -354,7 +428,7 @@ pub fn analyze_world_resumable(
         }
     }
     let jmutex = parking_lot::Mutex::new(Some(writer));
-    Ok(run_world(world, cfg, threads, progress, Some(&jmutex), prefilled))
+    Ok(run_world(world, cfg, threads, progress, Some(&jmutex), prefilled, mode))
 }
 
 /// [`analyze_world`], additionally returning a [`RunReport`] isolating the

@@ -174,6 +174,12 @@ impl Context {
                     "world",
                 ),
             };
+            // Memory telemetry (stderr only — never part of any golden
+            // artifact): the largest per-worker scratch arena of the run.
+            let peak = report.snapshot.counter("world.peak_block_bytes");
+            if peak > 0 {
+                reporter.note(&format!("peak per-worker scratch arena: {} KiB", peak / 1024));
+            }
             let _ = self.world_report.set(report);
             (world, analysis)
         })

@@ -105,6 +105,12 @@ pub struct PipelineMetrics {
     pub blocks_analyzed: Counter,
     /// Blocks rejected by the fill-fraction screen.
     pub blocks_rejected: Counter,
+    /// Scratch-path blocks whose `BlockScratch` arena was reused without
+    /// growing (the steady state).
+    pub scratch_reuses: Counter,
+    /// Scratch-path blocks that grew the arena (warm-up, or a longer
+    /// series than any before).
+    pub scratch_grows: Counter,
     /// Wall-time histograms, one per [`Stage`], in microseconds.
     stages: [Histogram; Stage::COUNT],
 }
@@ -124,6 +130,11 @@ pub struct WorldMetrics {
     pub blocks_total: Counter,
     /// Largest single world analysed (blocks).
     pub max_world_blocks: Gauge,
+    /// Largest per-worker `BlockScratch` arena seen, in bytes.
+    pub peak_block_bytes: Gauge,
+    /// Times a worker's local result batch had to grow its capacity
+    /// (should stay 0: batches are pre-sized and flushed before full).
+    pub batch_grows: Counter,
     /// Blocks analysed per worker index, to see scheduling balance.
     pub worker_blocks: LengthCounts,
 }
@@ -239,6 +250,8 @@ impl Registry {
             pipeline: PipelineMetrics {
                 blocks_analyzed: Counter::new(on),
                 blocks_rejected: Counter::new(on),
+                scratch_reuses: Counter::new(on),
+                scratch_grows: Counter::new(on),
                 stages: [
                     stage_hist(on),
                     stage_hist(on),
@@ -253,6 +266,8 @@ impl Registry {
                 runs: Counter::new(on),
                 blocks_total: Counter::new(on),
                 max_world_blocks: Gauge::new(on),
+                peak_block_bytes: Gauge::new(on),
+                batch_grows: Counter::new(on),
                 worker_blocks: LengthCounts::new(on),
             },
             simnet: SimnetMetrics {

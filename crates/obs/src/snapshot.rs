@@ -63,9 +63,13 @@ impl Snapshot {
         c.insert("fft.alloc_transforms", reg.fft.alloc_transforms.get());
         c.insert("pipeline.blocks_analyzed", reg.pipeline.blocks_analyzed.get());
         c.insert("pipeline.blocks_rejected", reg.pipeline.blocks_rejected.get());
+        c.insert("pipeline.scratch_reuses", reg.pipeline.scratch_reuses.get());
+        c.insert("pipeline.scratch_grows", reg.pipeline.scratch_grows.get());
         c.insert("world.runs", reg.world.runs.get());
         c.insert("world.blocks_total", reg.world.blocks_total.get());
         c.insert("world.max_world_blocks", reg.world.max_world_blocks.get());
+        c.insert("world.peak_block_bytes", reg.world.peak_block_bytes.get());
+        c.insert("world.batch_grows", reg.world.batch_grows.get());
         c.insert("simnet.worlds_generated", reg.simnet.worlds_generated.get());
         c.insert("simnet.blocks_generated", reg.simnet.blocks_generated.get());
         c.insert("geo.locate_hits", reg.geo.locate_hits.get());
@@ -114,8 +118,8 @@ impl Snapshot {
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
         let mut out = Snapshot::default();
         for (&k, &v) in &self.counters {
-            let base = if k == "world.max_world_blocks" {
-                0 // gauge: keep the high-water mark, not a difference
+            let base = if matches!(k, "world.max_world_blocks" | "world.peak_block_bytes") {
+                0 // gauges: keep the high-water mark, not a difference
             } else {
                 earlier.counter(k)
             };

@@ -45,5 +45,5 @@ pub use multisite::{agreement, merge_states, merged_outages, MergedOutage, Merge
 pub use record::{BlockRun, RoundRecord};
 pub use survey::{survey_block, survey_block_with_faults, SurveyResult};
 pub use trinocular::{
-    BlockState, OutageEvent, TrinocularConfig, TrinocularProber, VantageRetryConfig,
+    BlockState, OutageEvent, ProberScratch, TrinocularConfig, TrinocularProber, VantageRetryConfig,
 };

@@ -153,6 +153,49 @@ pub struct TrinocularProber {
     total_probes: u64,
 }
 
+/// Reusable buffers for constructing probers without per-block heap
+/// allocation (the steady-state world-run path).
+///
+/// [`TrinocularProber::new_reusing`] takes the buffers out of the scratch
+/// (clearing any stale contents) and [`TrinocularProber::recycle`] puts
+/// them back, capacities intact — grow-only across blocks. A default
+/// (empty) scratch is always valid: the first block simply pays the
+/// allocations the scratch exists to amortize.
+#[derive(Debug, Default)]
+pub struct ProberScratch {
+    walk: Vec<u8>,
+    outages: Vec<OutageEvent>,
+}
+
+impl ProberScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ProberScratch::default()
+    }
+
+    /// Heap bytes currently reserved by the scratch buffers.
+    pub fn footprint_bytes(&self) -> usize {
+        self.walk.capacity() * std::mem::size_of::<u8>()
+            + self.outages.capacity() * std::mem::size_of::<OutageEvent>()
+    }
+
+    /// Outages recorded by the most recently recycled prober. Wrappers
+    /// that materialize a full [`BlockRun`] take them from here.
+    pub fn take_outages(&mut self) -> Vec<OutageEvent> {
+        std::mem::take(&mut self.outages)
+    }
+
+    /// Fills the buffers with garbage, for tests proving output
+    /// independence from prior scratch contents.
+    #[doc(hidden)]
+    pub fn poison(&mut self, seed: u64) {
+        self.walk.clear();
+        self.walk.extend((0..97u64).map(|i| (seed.wrapping_mul(31).wrapping_add(i)) as u8));
+        self.outages.clear();
+        self.outages.push(OutageEvent { start_round: seed, end_round: None });
+    }
+}
+
 /// Stream tag for the walk shuffle and restart-loss draws.
 const STREAM_WALK: u64 = 0x77_616c6b; // "walk"
 const STREAM_RESTART: u64 = 0x72_7374; // "rst"
@@ -165,6 +208,34 @@ impl TrinocularProber {
     /// system bootstraps from prior censuses.
     pub fn new(block: &BlockSpec, cfg: TrinocularConfig) -> Self {
         Self::with_targets(block, block.ever_active_addrs(), block.hist_avail, cfg)
+    }
+
+    /// [`new`](Self::new), reusing the buffers held by `scratch` instead
+    /// of allocating: the walk is refilled in place from the block's
+    /// ever-active set and any stale outages are cleared. Behaviour and
+    /// output are byte-identical to [`new`](Self::new) — only the buffer
+    /// provenance differs. Pair with [`recycle`](Self::recycle) to return
+    /// the buffers after the run.
+    pub fn new_reusing(
+        block: &BlockSpec,
+        cfg: TrinocularConfig,
+        scratch: &mut ProberScratch,
+    ) -> Self {
+        let mut walk = std::mem::take(&mut scratch.walk);
+        walk.clear();
+        walk.extend((0..block.ever_active_count()).map(|s| block.slot_to_addr(s as u8)));
+        let mut outages = std::mem::take(&mut scratch.outages);
+        outages.clear();
+        Self::with_buffers(block, walk, outages, block.hist_avail, cfg)
+    }
+
+    /// Returns the prober's buffers to `scratch` for the next block,
+    /// keeping their capacities. The recorded outages stay readable
+    /// through [`ProberScratch::take_outages`] until the next
+    /// [`new_reusing`](Self::new_reusing).
+    pub fn recycle(self, scratch: &mut ProberScratch) {
+        scratch.walk = self.walk;
+        scratch.outages = self.outages;
     }
 
     /// Creates a prober bootstrapped from a census record — the real
@@ -187,10 +258,21 @@ impl TrinocularProber {
 
     fn with_targets(
         block: &BlockSpec,
-        mut walk: Vec<u8>,
+        walk: Vec<u8>,
         hist_avail: f64,
         cfg: TrinocularConfig,
     ) -> Self {
+        Self::with_buffers(block, walk, Vec::new(), hist_avail, cfg)
+    }
+
+    fn with_buffers(
+        block: &BlockSpec,
+        mut walk: Vec<u8>,
+        outages: Vec<OutageEvent>,
+        hist_avail: f64,
+        cfg: TrinocularConfig,
+    ) -> Self {
+        debug_assert!(outages.is_empty(), "outage buffer must arrive cleared");
         // Pseudorandom walk order, fixed per block per prober instance.
         let mut rng = KeyedRng::from_parts(&[block.seed, STREAM_WALK, block.id]);
         for i in (1..walk.len()).rev() {
@@ -206,7 +288,7 @@ impl TrinocularProber {
             state: BlockState::Up,
             walk,
             cursor: 0,
-            outages: Vec::new(),
+            outages,
             total_probes: 0,
         }
     }
@@ -392,6 +474,38 @@ impl TrinocularProber {
         rounds: u64,
         plan: &FaultPlan,
     ) -> BlockRun {
+        let mut records = Vec::new();
+        self.run_into_with_faults(block, start_time, rounds, plan, &mut records);
+        if plan.mangles_order() {
+            // Duplicated/reordered streams legitimately violate the
+            // strict-ascending invariant `BlockRun::new` asserts; build
+            // the run directly and let downstream cleaning cope.
+            BlockRun {
+                block_id: block.id,
+                rounds,
+                records,
+                outages: self.outages.clone(),
+                total_probes: self.total_probes,
+            }
+        } else {
+            BlockRun::new(block.id, rounds, records, self.outages.clone(), self.total_probes)
+        }
+    }
+
+    /// [`run_with_faults`](Self::run_with_faults), writing the round
+    /// records into a caller-provided buffer instead of building an owned
+    /// [`BlockRun`] — the zero-allocation steady-state path. `records` is
+    /// cleared first and grows only when this run needs more capacity
+    /// than any before it. Outages and the probe total stay readable via
+    /// [`outages`](Self::outages) / [`total_probes`](Self::total_probes).
+    pub fn run_into_with_faults(
+        &mut self,
+        block: &BlockSpec,
+        start_time: u64,
+        rounds: u64,
+        plan: &FaultPlan,
+        records: &mut Vec<RoundRecord>,
+    ) {
         // Fault accounting is accumulated in locals and flushed once at
         // the end of the run: one shared-cache-line touch per run instead
         // of per round/probe keeps worker threads from contending.
@@ -401,7 +515,8 @@ impl TrinocularProber {
         let mut dark_streak = 0u64;
         let mut failed_over = false;
         let mut in_burst = false;
-        let mut records = Vec::with_capacity(rounds as usize);
+        records.clear();
+        records.reserve(rounds as usize);
         for r in 0..rounds {
             if plan.truncates_at(r) {
                 fc.truncations += 1;
@@ -502,24 +617,10 @@ impl TrinocularProber {
                 records.push(rec);
             }
         }
-        let (dups, swaps) = plan.mangle_records(block.id, &mut records);
+        let (dups, swaps) = plan.mangle_records(block.id, records);
         fc.duplicates = dups;
         fc.reorders = swaps;
         self.flush_run_metrics(self.total_probes - probes_before, &fc);
-        if plan.mangles_order() {
-            // Duplicated/reordered streams legitimately violate the
-            // strict-ascending invariant `BlockRun::new` asserts; build
-            // the run directly and let downstream cleaning cope.
-            BlockRun {
-                block_id: block.id,
-                rounds,
-                records,
-                outages: self.outages.clone(),
-                total_probes: self.total_probes,
-            }
-        } else {
-            BlockRun::new(block.id, rounds, records, self.outages.clone(), self.total_probes)
-        }
     }
 
     /// One blacked-out round's fail-over attempt: on the exponential

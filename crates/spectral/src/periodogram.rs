@@ -59,6 +59,11 @@ impl Spectrum {
         self.coeffs.len()
     }
 
+    /// Bytes reserved for the coefficient buffer, capacity not length.
+    pub(crate) fn coeff_capacity_bytes(&self) -> usize {
+        self.coeffs.capacity() * std::mem::size_of::<Complex>()
+    }
+
     /// `true` when the input series was empty.
     pub fn is_empty(&self) -> bool {
         self.coeffs.is_empty()
@@ -125,6 +130,81 @@ impl Spectrum {
     }
 }
 
+/// Reusable spectrum workspace: an owned [`Spectrum`] whose coefficient
+/// buffer plus the plan's Bluestein scratch are recycled across blocks.
+/// Grow-only — a steady stream of same-length series computes spectra with
+/// zero heap allocations after the first.
+#[derive(Debug)]
+pub struct SpectrumScratch {
+    spectrum: Spectrum,
+    fft_scratch: Vec<Complex>,
+}
+
+impl Default for SpectrumScratch {
+    fn default() -> Self {
+        SpectrumScratch::new()
+    }
+}
+
+impl SpectrumScratch {
+    /// An empty workspace; the first [`compute_with_plan`]
+    /// (Self::compute_with_plan) sizes it.
+    pub fn new() -> Self {
+        SpectrumScratch {
+            spectrum: Spectrum { coeffs: Vec::new(), sample_period: ROUND_SECONDS },
+            fft_scratch: Vec::new(),
+        }
+    }
+
+    /// [`Spectrum::compute_with_plan`] into the reused buffers. Returns a
+    /// borrow of the freshly computed spectrum, valid until the next call;
+    /// coefficients are bit-identical to the allocating path.
+    ///
+    /// # Panics
+    /// Panics if `plan.len() != series.len()` or `sample_period <= 0`.
+    pub fn compute_with_plan(
+        &mut self,
+        series: &[f64],
+        sample_period: f64,
+        plan: &FftPlan,
+    ) -> &Spectrum {
+        assert!(sample_period > 0.0, "sample period must be positive");
+        assert_eq!(plan.len(), series.len(), "plan length mismatch");
+        // `real_with_scratch` wants exact lengths, zero-initialized out —
+        // the same state `fft_real` allocates fresh, so outputs match
+        // bit-for-bit.
+        self.spectrum.coeffs.clear();
+        self.spectrum.coeffs.resize(plan.len(), Complex::ZERO);
+        self.fft_scratch.clear();
+        self.fft_scratch.resize(plan.real_scratch_len(), Complex::ZERO);
+        plan.real_with_scratch(series, &mut self.spectrum.coeffs, &mut self.fft_scratch);
+        self.spectrum.sample_period = sample_period;
+        &self.spectrum
+    }
+
+    /// The most recently computed spectrum.
+    pub fn spectrum(&self) -> &Spectrum {
+        &self.spectrum
+    }
+
+    /// Bytes currently reserved, capacity not length.
+    pub fn footprint_bytes(&self) -> usize {
+        self.spectrum.coeff_capacity_bytes()
+            + self.fft_scratch.capacity() * std::mem::size_of::<Complex>()
+    }
+
+    /// Test-only: fill the workspace with garbage that a correct
+    /// [`compute_with_plan`](Self::compute_with_plan) must overwrite.
+    #[doc(hidden)]
+    pub fn poison(&mut self, seed: u64) {
+        self.spectrum.coeffs.clear();
+        self.spectrum.coeffs.extend((0..61u64).map(|i| Complex::new(f64::NAN, (seed ^ i) as f64)));
+        self.spectrum.sample_period = 1.0 + seed as f64;
+        self.fft_scratch.clear();
+        self.fft_scratch.extend((0..37u64).map(|i| Complex::new((seed + i) as f64, f64::NAN)));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +234,24 @@ mod tests {
         let s = Spectrum::compute_rounds(&vec![0.5; n]);
         assert!((s.span_days() - 35.0).abs() < 0.01);
         assert_eq!(s.diurnal_bin(), 35);
+    }
+
+    #[test]
+    fn scratch_spectrum_is_bit_identical() {
+        let n = 1833; // odd-composite → Bluestein path exercises fft_scratch
+        let series = tone(n, 14.0, 0.3, 0.5);
+        let plan = crate::plan::plan_for(n);
+        let want = Spectrum::compute_with_plan(&series, ROUND_SECONDS, &plan);
+        let mut scratch = SpectrumScratch::new();
+        scratch.poison(42);
+        let got = scratch.compute_with_plan(&series, ROUND_SECONDS, &plan);
+        assert_eq!(got.len(), want.len());
+        for k in 0..n {
+            assert_eq!(got.coeff(k).re.to_bits(), want.coeff(k).re.to_bits(), "bin {k} re");
+            assert_eq!(got.coeff(k).im.to_bits(), want.coeff(k).im.to_bits(), "bin {k} im");
+        }
+        assert_eq!(scratch.spectrum().strongest_bin(), Some(14));
+        assert!(scratch.footprint_bytes() > 0);
     }
 
     #[test]

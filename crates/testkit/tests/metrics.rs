@@ -7,7 +7,7 @@
 //! process-wide; activity is isolated with snapshot deltas around the
 //! measured call.
 
-use sleepwatch_core::{analyze_world, AnalysisConfig};
+use sleepwatch_core::{analyze_world, analyze_world_with_mode, AnalysisConfig, WorldRunMode};
 use sleepwatch_obs::Snapshot;
 use sleepwatch_probing::{FaultPlan, TrinocularProber};
 use sleepwatch_simnet::World;
@@ -275,6 +275,40 @@ fn fault_counters_match_plan_under_every_preset() {
                 "{name}: plan-cache conservation broke"
             );
         }
+    });
+}
+
+/// Scratch-arena accounting: every analyzed block is classified as either
+/// a reuse or a grow, worker batches never reallocate, and the peak-arena
+/// gauge reports a real footprint.
+#[test]
+fn scratch_counters_match_run_shape() {
+    let _g = lock();
+    with_metrics(|| {
+        let world = fixtures::small_world();
+        let cfg = fixtures::small_world_cfg(&world);
+        let n = world.blocks.len() as u64;
+
+        // SummaryOnly (the default): worker-local arenas warm up once,
+        // then every block is a reuse.
+        let (_, d) = measure(|| analyze_world(&world, &cfg, 2, None));
+        assert_eq!(
+            d.counter("pipeline.scratch_reuses") + d.counter("pipeline.scratch_grows"),
+            n,
+            "every block must be classified as reuse or grow"
+        );
+        assert!(d.counter("pipeline.scratch_grows") >= 1, "warm-up must register as a grow");
+        assert!(d.counter("pipeline.scratch_reuses") > 0, "steady state must register reuses");
+        assert_eq!(d.counter("world.batch_grows"), 0, "worker batches must never reallocate");
+        assert!(d.counter("world.peak_block_bytes") > 0, "peak arena gauge must be populated");
+
+        // FullDetail allocates a fresh arena per block: all grows, and
+        // the batch-reuse fix holds there too.
+        let (_, d) =
+            measure(|| analyze_world_with_mode(&world, &cfg, 2, None, WorldRunMode::FullDetail));
+        assert_eq!(d.counter("pipeline.scratch_grows"), n);
+        assert_eq!(d.counter("pipeline.scratch_reuses"), 0);
+        assert_eq!(d.counter("world.batch_grows"), 0);
     });
 }
 
