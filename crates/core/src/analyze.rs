@@ -148,19 +148,39 @@ impl BlockScratch {
         self.series.extend((0..71u64).map(|i| f64::NAN + (seed ^ i) as f64));
         self.spectrum.poison(seed);
     }
+
+    /// Length of the cleaned series currently in the arena (the grouping
+    /// key of the batched world FFT).
+    pub(crate) fn series_len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Split borrow for the batched FFT: the cleaned series (kernel input)
+    /// alongside the spectrum workspace (kernel output).
+    pub(crate) fn series_and_spectrum(&mut self) -> (&[f64], &mut SpectrumScratch) {
+        (&self.series, &mut self.spectrum)
+    }
 }
 
-/// The pipeline body shared by [`analyze_block`] and
-/// [`analyze_block_with_scratch`]: every stage reads from and writes into
-/// `scratch`, allocating only when a buffer must grow.
-fn analyze_block_into(
+/// Probe → estimate → clean results carried between the split phases of
+/// the batched world path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ProbedBlock {
+    pub outages: u32,
+    pub total_probes: u64,
+    pub fill_fraction: f64,
+}
+
+/// Stages Probe → Estimate → Clean into `scratch`, leaving the cleaned
+/// series in the arena for the FFT phase. First half of the pipeline body;
+/// the batched world path runs it per block, then FFTs same-length groups
+/// together before finishing each block with [`classify_probed`].
+pub(crate) fn probe_clean_into(
     block: &BlockSpec,
     cfg: &AnalysisConfig,
     scratch: &mut BlockScratch,
-) -> (BlockSummary, DiurnalReport, TrendReport, f64) {
+) -> ProbedBlock {
     let obs = sleepwatch_obs::global();
-    let track = obs.pipeline.scratch_reuses.enabled();
-    let footprint_before = if track { scratch.footprint_bytes() } else { 0 };
     let (outages, total_probes) = {
         let _t = StageTimer::start(obs.pipeline.stage(Stage::Probe));
         let mut prober = TrinocularProber::new_reusing(block, cfg.trinocular, &mut scratch.prober);
@@ -191,23 +211,25 @@ fn analyze_block_into(
             &mut scratch.series,
         )
     };
-    {
-        let _t = StageTimer::start(obs.pipeline.stage(Stage::Fft));
-        // Every block of a run produces the same post-trim length, so this
-        // hits the global plan cache after the first block — the FFT tables
-        // are built once per world, not once per /24.
-        let plan = plan_for(scratch.series.len());
-        scratch.spectrum.compute_with_plan(
-            &scratch.series,
-            sleepwatch_spectral::ROUND_SECONDS,
-            &plan,
-        );
-    }
+    ProbedBlock { outages, total_probes, fill_fraction }
+}
+
+/// Stage Classify plus summary assembly. Expects `scratch.spectrum` to
+/// hold the spectrum of `scratch.series` — either from the scalar FFT
+/// phase in [`analyze_block_into`] or a lane of the batched world kernel
+/// (bit-identical by construction).
+pub(crate) fn classify_probed(
+    block: &BlockSpec,
+    cfg: &AnalysisConfig,
+    scratch: &BlockScratch,
+    probed: ProbedBlock,
+) -> (BlockSummary, DiurnalReport, TrendReport) {
+    let obs = sleepwatch_obs::global();
     let spectrum = scratch.spectrum.spectrum();
     let (diurnal, trend) = {
         let _t = StageTimer::start(obs.pipeline.stage(Stage::Classify));
         let mut diurnal = classify(spectrum, &cfg.diurnal);
-        if fill_fraction > cfg.max_fill_fraction {
+        if probed.fill_fraction > cfg.max_fill_fraction {
             // Too much interpolation to trust periodicity claims.
             diurnal.class = DiurnalClass::NonDiurnal;
             diurnal.phase = None;
@@ -222,13 +244,6 @@ fn analyze_block_into(
         scratch.series.iter().sum::<f64>() / scratch.series.len() as f64
     };
     obs.pipeline.blocks_analyzed.incr();
-    if track {
-        if scratch.footprint_bytes() > footprint_before {
-            obs.pipeline.scratch_grows.incr();
-        } else {
-            obs.pipeline.scratch_reuses.incr();
-        }
-    }
     let summary = BlockSummary {
         block_id: block.id,
         class: diurnal.class,
@@ -236,10 +251,45 @@ fn analyze_block_into(
         strongest_cpd,
         mean_a: mean_a_short,
         stationary: trend.stationary,
-        outages,
-        total_probes,
+        outages: probed.outages,
+        total_probes: probed.total_probes,
     };
-    (summary, diurnal, trend, fill_fraction)
+    (summary, diurnal, trend)
+}
+
+/// The pipeline body shared by [`analyze_block`] and
+/// [`analyze_block_with_scratch`]: every stage reads from and writes into
+/// `scratch`, allocating only when a buffer must grow.
+fn analyze_block_into(
+    block: &BlockSpec,
+    cfg: &AnalysisConfig,
+    scratch: &mut BlockScratch,
+) -> (BlockSummary, DiurnalReport, TrendReport, f64) {
+    let obs = sleepwatch_obs::global();
+    let track = obs.pipeline.scratch_reuses.enabled();
+    let footprint_before = if track { scratch.footprint_bytes() } else { 0 };
+    let probed = probe_clean_into(block, cfg, scratch);
+    {
+        let _t = StageTimer::start(obs.pipeline.stage(Stage::Fft));
+        // Every block of a run produces the same post-trim length, so this
+        // hits the global plan cache after the first block — the FFT tables
+        // are built once per world, not once per /24.
+        let plan = plan_for(scratch.series.len());
+        scratch.spectrum.compute_with_plan(
+            &scratch.series,
+            sleepwatch_spectral::ROUND_SECONDS,
+            &plan,
+        );
+    }
+    let (summary, diurnal, trend) = classify_probed(block, cfg, scratch, probed);
+    if track {
+        if scratch.footprint_bytes() > footprint_before {
+            obs.pipeline.scratch_grows.incr();
+        } else {
+            obs.pipeline.scratch_reuses.incr();
+        }
+    }
+    (summary, diurnal, trend, probed.fill_fraction)
 }
 
 /// Runs the full pipeline over one block reusing `scratch` — the

@@ -52,6 +52,8 @@ pub use streaming::{OnlineConfig, OnlineDetector};
 pub use timeofday::{activity_pattern, peak_local_hour, peak_utc_hour, ActivityPattern};
 pub use worldrun::{
     analyze_world, analyze_world_resumable, analyze_world_resumable_with_mode,
-    analyze_world_resumable_with_report, analyze_world_with_mode, analyze_world_with_report,
-    BlockOutcome, Quarantine, WorldAnalysis, WorldBlockReport, WorldRunMode,
+    analyze_world_resumable_with_report, analyze_world_source, analyze_world_source_resumable,
+    analyze_world_stats, analyze_world_stats_resumable, analyze_world_with_mode,
+    analyze_world_with_report, BlockOutcome, Quarantine, WorldAnalysis, WorldBlockReport,
+    WorldRunMode, WorldRunStats,
 };

@@ -2,27 +2,49 @@
 //! synthetic world in parallel, and join results with geolocation, reverse
 //! DNS link classification, allocation dates, and country economics.
 //!
-//! Resilience: workers wrap each block in `catch_unwind`, so one poisoned
-//! block is quarantined (recorded in [`WorldAnalysis::quarantined`])
-//! instead of aborting the run, and [`analyze_world_resumable`] journals
-//! every completed block to an append-only checkpoint file
-//! ([`crate::journal`]) so a killed process resumes where it stopped with
-//! byte-identical output.
+//! Paper scale: blocks are claimed in fixed id-range chunks, and a chunk
+//! can be fed either from a materialized [`World`] or pulled lazily from a
+//! [`WorldSource`] — the 3.7M-block survey never holds more than
+//! O(workers × chunk) specs in memory. Within a chunk, `SummaryOnly`
+//! workers probe and clean up to [`MAX_BATCH_LANES`] blocks, then push the
+//! same-length cleaned series through one batched real FFT
+//! ([`sleepwatch_spectral::FftPlan::real_batch_with_scratch`]) — bit-identical to
+//! the per-series kernel, so every golden and differential suite holds
+//! byte-for-byte. Aggregation can likewise stream into a compact
+//! [`WorldRunStats`] instead of collecting per-block reports.
+//!
+//! Resilience: workers wrap each phase of each block in `catch_unwind`, so
+//! one poisoned block is quarantined (recorded in
+//! [`WorldAnalysis::quarantined`]) instead of aborting the run, and the
+//! `*_resumable` entry points journal every completed block to an
+//! append-only checkpoint file ([`crate::journal`]) so a killed process
+//! resumes where it stopped with byte-identical output — without
+//! regenerating already-journaled blocks.
 
 use crate::analyze::{
-    analyze_block, analyze_block_with_scratch, AnalysisConfig, BlockScratch, BlockSummary,
+    analyze_block, analyze_block_with_scratch, classify_probed, probe_clean_into, AnalysisConfig,
+    BlockScratch, BlockSummary, ProbedBlock,
 };
 use crate::journal::{self, JournalError, JournalHeader, JournalWriter};
 use sleepwatch_geoecon::allocation::YearMonth;
-use sleepwatch_geoecon::country::by_code;
-use sleepwatch_geoecon::geolocate::Location;
+use sleepwatch_geoecon::country::{by_code, COUNTRIES};
+use sleepwatch_geoecon::geolocate::{GeoDatabase, Location};
 use sleepwatch_geoecon::region::Region;
 use sleepwatch_linktype::{classify_block, LinkFeature};
 use sleepwatch_obs::{RunReport, Snapshot, Stage, StageTimer};
-use sleepwatch_simnet::{ptr_names, World};
+use sleepwatch_simnet::{ptr_names, BlockSpec, World, WorldSource};
+use sleepwatch_spectral::{plan_for, BatchRealScratch, Complex, MAX_BATCH_LANES};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Blocks per claimed chunk. Chunk composition is a pure function of the
+/// block index, so which worker claims a chunk never changes what is in
+/// it — quarantine order, batching, and (for lazy sources) generation all
+/// stay deterministic across thread counts. Also the worker batch
+/// capacity: one flush per chunk bounds local memory and keeps
+/// `world.batch_grows` at zero.
+const CHUNK: usize = 256;
 
 /// One block's measurement, joined with every external data source the
 /// paper correlates against.
@@ -76,9 +98,10 @@ pub enum WorldRunMode {
     /// Allocate a full `BlockAnalysis` (raw run, cleaned series) per
     /// block and collapse it to a summary — the pre-scratch behaviour.
     FullDetail,
-    /// Analyze through a worker-local [`BlockScratch`] arena and keep
+    /// Analyze through worker-local [`BlockScratch`] arenas and keep
     /// only the [`WorldBlockReport`]: zero steady-state allocations per
-    /// block and far lower peak RSS. Output is byte-identical to
+    /// block and far lower peak RSS, with same-length series batched
+    /// through one FFT pass. Output is byte-identical to
     /// [`FullDetail`](Self::FullDetail); this is the default.
     #[default]
     SummaryOnly,
@@ -93,6 +116,97 @@ pub struct WorldAnalysis {
     /// Blocks whose analysis panicked, in block order. Empty on healthy
     /// runs; deterministic across thread counts and schedules.
     pub quarantined: Vec<Quarantine>,
+}
+
+/// Streaming aggregate of a world run — everything the paper-scale survey
+/// reports, in O(1) memory per run instead of O(blocks).
+///
+/// Produced by [`analyze_world_stats`]; [`WorldAnalysis::stats`] computes
+/// the identical value from collected reports (the equivalence is a unit
+/// test), so summary-level results never depend on which sink ran.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorldRunStats {
+    /// Blocks analyzed (quarantined blocks excluded).
+    pub blocks: usize,
+    /// Strictly diurnal blocks.
+    pub strict: usize,
+    /// Strict-or-relaxed diurnal blocks.
+    pub diurnal: usize,
+    /// Blocks passing the §2.2 stationarity screen.
+    pub stationary: usize,
+    /// Blocks the geolocation database could place.
+    pub located: usize,
+    /// Planted diurnal, detected strict.
+    pub true_pos: usize,
+    /// Not planted, detected strict.
+    pub false_pos: usize,
+    /// Planted, not detected strict.
+    pub false_neg: usize,
+    /// Not planted, not detected strict.
+    pub true_neg: usize,
+    /// Total detected outages across all blocks.
+    pub outages: u64,
+    /// Total probes spent across all blocks.
+    pub total_probes: u64,
+    /// Blocks whose analysis panicked, sorted by block id.
+    pub quarantined: Vec<Quarantine>,
+}
+
+impl WorldRunStats {
+    /// Folds one completed block report into the aggregate.
+    pub fn absorb_report(&mut self, r: &WorldBlockReport) {
+        self.blocks += 1;
+        if r.summary.class.is_strict() {
+            self.strict += 1;
+        }
+        if r.summary.class.is_diurnal() {
+            self.diurnal += 1;
+        }
+        if r.summary.stationary {
+            self.stationary += 1;
+        }
+        if r.location.is_some() {
+            self.located += 1;
+        }
+        match (r.planted_diurnal, r.summary.class.is_strict()) {
+            (true, true) => self.true_pos += 1,
+            (false, true) => self.false_pos += 1,
+            (true, false) => self.false_neg += 1,
+            (false, false) => self.true_neg += 1,
+        }
+        self.outages += r.summary.outages as u64;
+        self.total_probes += r.summary.total_probes;
+    }
+
+    fn absorb_outcome(&mut self, outcome: BlockOutcome) {
+        match outcome {
+            BlockOutcome::Analyzed(r) => self.absorb_report(&r),
+            BlockOutcome::Quarantined { block_id, diagnostic } => {
+                self.quarantined.push(Quarantine { block_id, diagnostic });
+            }
+        }
+    }
+
+    /// Count and fraction of strictly diurnal blocks.
+    pub fn strict_fraction(&self) -> (usize, f64) {
+        (self.strict, self.strict as f64 / self.blocks.max(1) as f64)
+    }
+
+    /// Count and fraction of strict-or-relaxed diurnal blocks.
+    pub fn diurnal_fraction(&self) -> (usize, f64) {
+        (self.diurnal, self.diurnal as f64 / self.blocks.max(1) as f64)
+    }
+
+    /// Fraction of blocks passing the stationarity screen.
+    pub fn stationary_fraction(&self) -> f64 {
+        self.stationary as f64 / self.blocks.max(1) as f64
+    }
+
+    /// Detection quality against the planted labels:
+    /// `(true_pos, false_pos, false_neg, true_neg)` using the strict class.
+    pub fn confusion_vs_planted(&self) -> (usize, usize, usize, usize) {
+        (self.true_pos, self.false_pos, self.false_neg, self.true_neg)
+    }
 }
 
 /// Test-only failure injection. Hidden from docs and never armed outside
@@ -130,22 +244,65 @@ pub mod hooks {
     }
 }
 
-/// The full pipeline for one block: analysis plus every external join.
-fn analyze_one(
-    world: &World,
-    i: usize,
-    cfg: &AnalysisConfig,
-    mode: WorldRunMode,
-    scratch: &mut BlockScratch,
-) -> WorldBlockReport {
-    let block = &world.blocks[i];
-    hooks::fire(block.id);
-    let summary = match mode {
-        WorldRunMode::FullDetail => analyze_block(block, cfg).summary(),
-        WorldRunMode::SummaryOnly => analyze_block_with_scratch(block, cfg, scratch),
-    };
-    let country = world.country_of(block);
-    let location = world.geodb.locate(block.id, country, block.lon, block.lat);
+/// Where a run's blocks come from: a materialized world, or a lazy
+/// seed-keyed source that synthesizes each claimed chunk on demand.
+enum Feed<'a> {
+    World(&'a World),
+    Source(&'a WorldSource),
+}
+
+impl<'a> Feed<'a> {
+    fn len(&self) -> usize {
+        match self {
+            Feed::World(w) => w.blocks.len(),
+            Feed::Source(s) => s.len(),
+        }
+    }
+
+    fn geodb(&self) -> &'a GeoDatabase {
+        match self {
+            Feed::World(w) => &w.geodb,
+            Feed::Source(s) => s.geodb(),
+        }
+    }
+}
+
+/// One claimed chunk's blocks: either a window into the materialized
+/// world (indexed through the chunk's work list) or a freshly generated
+/// dense buffer aligned with that list.
+enum ChunkView<'a> {
+    World(&'a [BlockSpec], &'a [usize]),
+    Generated(&'a [BlockSpec]),
+}
+
+impl<'a> ChunkView<'a> {
+    /// The block behind work item `j` of the chunk.
+    fn get(&self, j: usize) -> &'a BlockSpec {
+        match self {
+            ChunkView::World(blocks, work) => &blocks[work[j]],
+            ChunkView::Generated(buf) => &buf[j],
+        }
+    }
+}
+
+/// Where outcomes go: per-block collection (order restored by slot index)
+/// or a streaming fold into [`WorldRunStats`].
+enum Sink {
+    Collect(Vec<Option<BlockOutcome>>),
+    Stats(WorldRunStats),
+}
+
+/// What a finished run hands back, matching the sink it ran with.
+enum RunOutput {
+    Analysis(WorldAnalysis),
+    Stats(WorldRunStats),
+}
+
+/// Geo/reverse-DNS/registry join for one completed summary — the
+/// world-independent second half of the per-block pipeline.
+fn join_block(geodb: &GeoDatabase, block: &BlockSpec, summary: BlockSummary) -> WorldBlockReport {
+    let country = &COUNTRIES[block.country_idx];
+    let location = geodb.locate(block.id, country, block.lon, block.lat);
     // Lookup-or-`None`: an out-of-table country code degrades this one
     // block to region-less instead of panicking a worker.
     let region = location.and_then(|l| match by_code(l.country) {
@@ -168,6 +325,24 @@ fn analyze_one(
     }
 }
 
+/// The full pipeline for one block: analysis plus every external join.
+/// The scalar path — `FullDetail` always comes through here; the batched
+/// `SummaryOnly` path splits the same stages across micro-batch phases.
+fn analyze_one(
+    block: &BlockSpec,
+    geodb: &GeoDatabase,
+    cfg: &AnalysisConfig,
+    mode: WorldRunMode,
+    scratch: &mut BlockScratch,
+) -> WorldBlockReport {
+    hooks::fire(block.id);
+    let summary = match mode {
+        WorldRunMode::FullDetail => analyze_block(block, cfg).summary(),
+        WorldRunMode::SummaryOnly => analyze_block_with_scratch(block, cfg, scratch),
+    };
+    join_block(geodb, block, summary)
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -180,10 +355,10 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Flushes a worker's local batch: journals completed reports (disabling
 /// the journal on the first write error — the run itself must not die for
-/// a full disk), then publishes outcomes into the shared slots.
+/// a full disk), then publishes outcomes into the shared sink.
 fn flush_batch(
     local: &mut Vec<(usize, BlockOutcome)>,
-    slots_mutex: &parking_lot::Mutex<&mut Vec<Option<BlockOutcome>>>,
+    sink_mutex: &parking_lot::Mutex<&mut Sink>,
     journal: Option<&parking_lot::Mutex<Option<JournalWriter>>>,
 ) {
     if let Some(j) = journal {
@@ -204,29 +379,86 @@ fn flush_batch(
             }
         }
     }
-    let mut guard = slots_mutex.lock();
-    for (idx, outcome) in local.drain(..) {
-        guard[idx] = Some(outcome);
+    let mut guard = sink_mutex.lock();
+    match &mut **guard {
+        Sink::Collect(slots) => {
+            for (idx, outcome) in local.drain(..) {
+                slots[idx] = Some(outcome);
+            }
+        }
+        Sink::Stats(stats) => {
+            for (_, outcome) in local.drain(..) {
+                stats.absorb_outcome(outcome);
+            }
+        }
     }
 }
 
-/// Shared driver behind [`analyze_world`] and
-/// [`analyze_world_resumable`]. `prefilled` carries journal-replayed
-/// outcomes by slot index (empty for a fresh run); workers skip those
-/// slots. Output depends only on the world and config — not on thread
-/// count, schedule, journal presence, or how much was replayed.
+/// Records one outcome into the worker's batch, advances the shared done
+/// counter, and reports coarse intermediate progress.
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    i: usize,
+    outcome: BlockOutcome,
+    n: usize,
+    base: usize,
+    local: &mut Vec<(usize, BlockOutcome)>,
+    blocks_done: &mut u64,
+    done: &AtomicUsize,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) {
+    if local.len() == local.capacity() {
+        sleepwatch_obs::global().world.batch_grows.incr();
+    }
+    local.push((i, outcome));
+    *blocks_done += 1;
+    let d = done.fetch_add(1, Ordering::Relaxed) + 1 + base;
+    if let Some(cb) = progress {
+        // Final (n, n) is reported by the calling thread after the join;
+        // workers only emit strictly intermediate counts.
+        if d % 500 == 0 && d < n {
+            cb(d, n);
+        }
+    }
+}
+
+/// Disjoint mutable references to the given scratch slots (ascending,
+/// unique) — the lanes of one same-length FFT group.
+fn lane_refs<'a>(scratches: &'a mut [BlockScratch], slots: &[usize]) -> Vec<&'a mut BlockScratch> {
+    let mut out = Vec::with_capacity(slots.len());
+    let mut rest = scratches;
+    let mut consumed = 0;
+    for &s in slots {
+        let (_, tail) = std::mem::take(&mut rest).split_at_mut(s - consumed);
+        let (head, tail2) = tail.split_at_mut(1);
+        out.push(&mut head[0]);
+        rest = tail2;
+        consumed = s + 1;
+    }
+    out
+}
+
+/// Shared driver behind every `analyze_world*` entry point. `skip` marks
+/// journal-replayed blocks (workers never touch them — for lazy sources a
+/// fully replayed chunk is not even generated); `base` is how many were
+/// replayed. Output depends only on the blocks and config — not on feed
+/// kind, sink kind, thread count, schedule, journal presence, or how much
+/// was replayed.
+#[allow(clippy::too_many_arguments)]
 fn run_world(
-    world: &World,
+    feed: Feed<'_>,
     cfg: &AnalysisConfig,
     threads: usize,
     progress: Option<&(dyn Fn(usize, usize) + Sync)>,
     journal: Option<&parking_lot::Mutex<Option<JournalWriter>>>,
-    prefilled: Vec<Option<BlockOutcome>>,
+    skip: Vec<bool>,
+    sink: Sink,
     mode: WorldRunMode,
-) -> WorldAnalysis {
+) -> RunOutput {
     let obs = sleepwatch_obs::global();
     let _total_timer = StageTimer::start(obs.pipeline.stage(Stage::Total));
-    let n = world.blocks.len();
+    let n = feed.len();
+    debug_assert_eq!(skip.len(), n);
     let threads = threads.max(1);
     obs.world.runs.incr();
     obs.world.blocks_total.add(n as u64);
@@ -238,91 +470,156 @@ fn run_world(
     // warmup is not a caller-visible lookup and must not skew the
     // hit/miss-vs-transform accounting.)
     sleepwatch_spectral::prewarm(cfg.rounds as usize);
+    let base = skip.iter().filter(|&&s| s).count();
+    if let Some(cb) = progress {
+        // Surface replayed work immediately: a resumed run starts its
+        // progress at `base` instead of the first worker report jumping
+        // from nothing. Strictly intermediate — a fully replayed run goes
+        // straight to the final (n, n) below.
+        if base > 0 && base < n {
+            cb(base, n);
+        }
+    }
+    let nchunks = n.div_ceil(CHUNK);
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
-    let mut slots: Vec<Option<BlockOutcome>> = prefilled;
-    slots.resize_with(n, || None);
-    let skip: Vec<bool> = slots.iter().map(Option::is_some).collect();
-    let base = skip.iter().filter(|&&s| s).count();
-    let slots_mutex = parking_lot::Mutex::new(&mut slots);
-
-    crossbeam::thread::scope(|s| {
-        for worker in 0..threads {
-            // Rebind as shared references so `move` captures copies, not
-            // the owned atomics/mutex themselves.
-            let (next, done, slots_mutex, skip) = (&next, &done, &slots_mutex, &skip);
-            s.spawn(move |_| {
-                // Pre-sized once and recycled by `flush_batch`'s `drain`
-                // (which keeps capacity) — the batch never reallocates;
-                // `world.batch_grows` asserts that in the metrics suite.
-                const BATCH_CAPACITY: usize = 256;
-                let mut local: Vec<(usize, BlockOutcome)> = Vec::with_capacity(BATCH_CAPACITY);
-                // One arena per worker thread: after the first block every
-                // buffer is reused (outputs are independent of leftover
-                // contents — even a quarantined block's partial state —
-                // see `tests/scratch_poison.rs`).
-                let mut scratch = BlockScratch::new();
-                let mut blocks_done = 0u64;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    if skip[i] {
-                        continue; // replayed from the journal
-                    }
-                    let outcome = match catch_unwind(AssertUnwindSafe(|| {
-                        analyze_one(world, i, cfg, mode, &mut scratch)
-                    })) {
-                        Ok(rep) => BlockOutcome::Analyzed(rep),
-                        Err(payload) => {
-                            obs.resilience.blocks_quarantined.incr();
-                            BlockOutcome::Quarantined {
-                                block_id: world.blocks[i].id,
-                                diagnostic: panic_message(payload),
+    let started = std::time::Instant::now();
+    let mut sink = sink;
+    {
+        let sink_mutex = parking_lot::Mutex::new(&mut sink);
+        crossbeam::thread::scope(|s| {
+            for worker in 0..threads {
+                // Rebind as shared references so `move` captures copies,
+                // not the owned atomics/mutex themselves.
+                let (next, done, sink_mutex, skip, feed) =
+                    (&next, &done, &sink_mutex, &skip, &feed);
+                s.spawn(move |_| {
+                    // Worker arenas: one scratch per batch lane plus the
+                    // lane-interleaved FFT workspace and (for lazy feeds)
+                    // the chunk's spec buffer. All grow-only — after
+                    // warm-up a chunk runs without allocating.
+                    let mut local: Vec<(usize, BlockOutcome)> = Vec::with_capacity(CHUNK);
+                    let mut scratches: Vec<BlockScratch> =
+                        (0..MAX_BATCH_LANES).map(|_| BlockScratch::new()).collect();
+                    let mut batch_scratch = BatchRealScratch::new();
+                    let mut gen_buf: Vec<BlockSpec> = Vec::new();
+                    let mut work: Vec<usize> = Vec::with_capacity(CHUNK);
+                    let mut blocks_done = 0u64;
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= nchunks {
+                            break;
+                        }
+                        let lo = c * CHUNK;
+                        let hi = ((c + 1) * CHUNK).min(n);
+                        work.clear();
+                        work.extend((lo..hi).filter(|&i| !skip[i]));
+                        if work.is_empty() {
+                            // Fully replayed from the journal: resumed
+                            // sources skip generation outright.
+                            continue;
+                        }
+                        let view = match feed {
+                            Feed::World(w) => ChunkView::World(&w.blocks, &work),
+                            Feed::Source(src) => {
+                                src.generate_into(work.iter().map(|&i| i as u64), &mut gen_buf);
+                                obs.world.source_chunks.incr();
+                                ChunkView::Generated(&gen_buf)
+                            }
+                        };
+                        match mode {
+                            WorldRunMode::FullDetail => {
+                                for (j, &i) in work.iter().enumerate() {
+                                    let block = view.get(j);
+                                    let scr = &mut scratches[0];
+                                    let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                                        analyze_one(block, feed.geodb(), cfg, mode, scr)
+                                    })) {
+                                        Ok(rep) => BlockOutcome::Analyzed(rep),
+                                        Err(payload) => {
+                                            obs.resilience.blocks_quarantined.incr();
+                                            BlockOutcome::Quarantined {
+                                                block_id: block.id,
+                                                diagnostic: panic_message(payload),
+                                            }
+                                        }
+                                    };
+                                    emit(
+                                        i,
+                                        outcome,
+                                        n,
+                                        base,
+                                        &mut local,
+                                        &mut blocks_done,
+                                        done,
+                                        progress,
+                                    );
+                                }
+                            }
+                            WorldRunMode::SummaryOnly => {
+                                run_chunk_batched(
+                                    &view,
+                                    &work,
+                                    feed.geodb(),
+                                    cfg,
+                                    &mut scratches,
+                                    &mut batch_scratch,
+                                    &mut |i, outcome| {
+                                        emit(
+                                            i,
+                                            outcome,
+                                            n,
+                                            base,
+                                            &mut local,
+                                            &mut blocks_done,
+                                            done,
+                                            progress,
+                                        )
+                                    },
+                                );
                             }
                         }
-                    };
-                    if local.len() == local.capacity() {
-                        obs.world.batch_grows.incr();
+                        flush_batch(&mut local, sink_mutex, journal);
                     }
-                    local.push((i, outcome));
-                    blocks_done += 1;
-                    let d = done.fetch_add(1, Ordering::Relaxed) + 1 + base;
-                    if let Some(cb) = progress {
-                        // Final (n, n) is reported by the calling thread
-                        // after the join; workers only emit strictly
-                        // intermediate counts.
-                        if d % 500 == 0 && d < n {
-                            cb(d, n);
+                    obs.world.worker_blocks.add(worker, blocks_done);
+                    let arena: usize = scratches.iter().map(|s| s.footprint_bytes()).sum::<usize>()
+                        + batch_scratch.footprint_bytes()
+                        + gen_buf.capacity() * std::mem::size_of::<BlockSpec>();
+                    obs.world.peak_block_bytes.raise(arena as u64);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+
+    let analyzed = n - base;
+    let secs = started.elapsed().as_secs_f64();
+    if analyzed > 0 && secs > 0.0 {
+        obs.world.blocks_per_sec.raise((analyzed as f64 / secs) as u64);
+    }
+    let out = {
+        let _t = StageTimer::start(obs.pipeline.stage(Stage::Join));
+        match sink {
+            Sink::Collect(slots) => {
+                let mut reports = Vec::with_capacity(n);
+                let mut quarantined = Vec::new();
+                for s in slots.into_iter().map(|s| s.expect("every block analyzed")) {
+                    match s {
+                        BlockOutcome::Analyzed(r) => reports.push(r),
+                        BlockOutcome::Quarantined { block_id, diagnostic } => {
+                            quarantined.push(Quarantine { block_id, diagnostic });
                         }
                     }
-                    // Flush periodically to bound local memory.
-                    if local.len() >= BATCH_CAPACITY {
-                        flush_batch(&mut local, slots_mutex, journal);
-                    }
                 }
-                flush_batch(&mut local, slots_mutex, journal);
-                obs.world.worker_blocks.add(worker, blocks_done);
-                obs.world.peak_block_bytes.raise(scratch.footprint_bytes() as u64);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    let (reports, quarantined) = {
-        let _t = StageTimer::start(obs.pipeline.stage(Stage::Join));
-        let mut reports = Vec::with_capacity(n);
-        let mut quarantined = Vec::new();
-        for s in slots.into_iter().map(|s| s.expect("every block analyzed")) {
-            match s {
-                BlockOutcome::Analyzed(r) => reports.push(r),
-                BlockOutcome::Quarantined { block_id, diagnostic } => {
-                    quarantined.push(Quarantine { block_id, diagnostic });
-                }
+                RunOutput::Analysis(WorldAnalysis { reports, quarantined })
+            }
+            Sink::Stats(mut stats) => {
+                // Workers fold in claim order; counters commute but the
+                // quarantine list must come out deterministic.
+                stats.quarantined.sort_by_key(|q| q.block_id);
+                RunOutput::Stats(stats)
             }
         }
-        (reports, quarantined)
     };
     if let Some(j) = journal {
         if let Some(w) = j.lock().as_mut() {
@@ -334,7 +631,190 @@ fn run_world(
     if let Some(cb) = progress {
         cb(n, n);
     }
-    WorldAnalysis { reports, quarantined }
+    out
+}
+
+/// `SummaryOnly` chunk execution: probe/clean up to [`MAX_BATCH_LANES`]
+/// blocks into per-lane arenas, FFT same-length series together through
+/// the lane-interleaved kernel, then classify and join each lane. Every
+/// phase keeps its own `catch_unwind` boundary so one poisoned block
+/// quarantines alone, never its batch-mates.
+fn run_chunk_batched(
+    view: &ChunkView<'_>,
+    work: &[usize],
+    geodb: &GeoDatabase,
+    cfg: &AnalysisConfig,
+    scratches: &mut [BlockScratch],
+    batch_scratch: &mut BatchRealScratch,
+    emit: &mut dyn FnMut(usize, BlockOutcome),
+) {
+    let obs = sleepwatch_obs::global();
+    let track = obs.pipeline.scratch_reuses.enabled();
+    let m = work.len();
+    for mb in (0..m).step_by(MAX_BATCH_LANES) {
+        let lanes = (m - mb).min(MAX_BATCH_LANES);
+        let mut probed: [Option<ProbedBlock>; MAX_BATCH_LANES] = [None; MAX_BATCH_LANES];
+        let mut outcomes: [Option<BlockOutcome>; MAX_BATCH_LANES] = Default::default();
+        let mut fp_before = [0usize; MAX_BATCH_LANES];
+
+        // Phase 1: probe → estimate → clean, one lane per block.
+        for l in 0..lanes {
+            let block = view.get(mb + l);
+            if track {
+                fp_before[l] = scratches[l].footprint_bytes();
+            }
+            let scr = &mut scratches[l];
+            match catch_unwind(AssertUnwindSafe(|| {
+                hooks::fire(block.id);
+                probe_clean_into(block, cfg, scr)
+            })) {
+                Ok(p) => probed[l] = Some(p),
+                Err(payload) => {
+                    obs.resilience.blocks_quarantined.incr();
+                    outcomes[l] = Some(BlockOutcome::Quarantined {
+                        block_id: block.id,
+                        diagnostic: panic_message(payload),
+                    });
+                }
+            }
+        }
+
+        // Phase 2: group surviving lanes by cleaned-series length (fixed
+        // stack tables — lanes ≤ MAX_BATCH_LANES) and FFT each group in
+        // one batched pass.
+        let mut glen = [0usize; MAX_BATCH_LANES];
+        let mut gmem = [[0usize; MAX_BATCH_LANES]; MAX_BATCH_LANES];
+        let mut gcnt = [0usize; MAX_BATCH_LANES];
+        let mut ngroups = 0usize;
+        for l in 0..lanes {
+            if probed[l].is_none() {
+                continue;
+            }
+            let len = scratches[l].series_len();
+            let gi = match (0..ngroups).find(|&g| glen[g] == len) {
+                Some(g) => g,
+                None => {
+                    glen[ngroups] = len;
+                    ngroups += 1;
+                    ngroups - 1
+                }
+            };
+            gmem[gi][gcnt[gi]] = l;
+            gcnt[gi] += 1;
+        }
+        for g in 0..ngroups {
+            let len = glen[g];
+            let members = &gmem[g][..gcnt[g]];
+            // One counted cache lookup per member: the batched kernel
+            // records one transform per lane, and the metrics suite pins
+            // `plan_cache.hits + misses == fft.transforms`.
+            let mut plan = plan_for(len);
+            for _ in 1..members.len() {
+                plan = plan_for(len);
+            }
+            let hist = obs.pipeline.stage(Stage::Fft);
+            let timed = hist.enabled();
+            let start = timed.then(std::time::Instant::now);
+            let batch_ok = catch_unwind(AssertUnwindSafe(|| {
+                let mut lanes_mut = lane_refs(scratches, members);
+                let mut ins: Vec<&[f64]> = Vec::with_capacity(lanes_mut.len());
+                let mut outs: Vec<&mut [Complex]> = Vec::with_capacity(lanes_mut.len());
+                for scr in lanes_mut.iter_mut() {
+                    let (series, spec) = scr.series_and_spectrum();
+                    ins.push(series);
+                    outs.push(spec.prepare_coeffs(len, sleepwatch_spectral::ROUND_SECONDS));
+                }
+                plan.real_batch_with_scratch(&ins, &mut outs, batch_scratch);
+            }))
+            .is_ok();
+            if !batch_ok {
+                // A poisoned lane must not sink its batch-mates: redo each
+                // lane through the scalar kernel with its own quarantine
+                // boundary. (The batch kernel validates before recording
+                // telemetry, so the scalar redo keeps the lookup/transform
+                // ledger aligned up to the quarantined lanes.)
+                for &l in members {
+                    let block = view.get(mb + l);
+                    let scr = &mut scratches[l];
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                        let (series, spec) = scr.series_and_spectrum();
+                        spec.compute_with_plan(series, sleepwatch_spectral::ROUND_SECONDS, &plan);
+                    })) {
+                        obs.resilience.blocks_quarantined.incr();
+                        probed[l] = None;
+                        outcomes[l] = Some(BlockOutcome::Quarantined {
+                            block_id: block.id,
+                            diagnostic: panic_message(payload),
+                        });
+                    }
+                }
+            }
+            if let Some(t0) = start {
+                // The group's wall time split evenly keeps the per-block
+                // stage histogram at one sample per block.
+                let per_member = t0.elapsed().as_secs_f64() * 1e6 / members.len() as f64;
+                for _ in members {
+                    hist.record(per_member);
+                }
+            }
+        }
+
+        // Phase 3: classify and join each lane, in lane order.
+        for l in 0..lanes {
+            let i = work[mb + l];
+            if let Some(outcome) = outcomes[l].take() {
+                emit(i, outcome);
+                continue;
+            }
+            let block = view.get(mb + l);
+            let p = probed[l].expect("lane survived phases 1–2");
+            let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                let (summary, _diurnal, _trend) = classify_probed(block, cfg, &scratches[l], p);
+                if track {
+                    // Same classification point as the scalar path: the
+                    // whole block (probe buffers, series, spectrum) either
+                    // fit the warm arena or grew it.
+                    if scratches[l].footprint_bytes() > fp_before[l] {
+                        obs.pipeline.scratch_grows.incr();
+                    } else {
+                        obs.pipeline.scratch_reuses.incr();
+                    }
+                }
+                join_block(geodb, block, summary)
+            })) {
+                Ok(rep) => BlockOutcome::Analyzed(rep),
+                Err(payload) => {
+                    obs.resilience.blocks_quarantined.incr();
+                    BlockOutcome::Quarantined {
+                        block_id: block.id,
+                        diagnostic: panic_message(payload),
+                    }
+                }
+            };
+            emit(i, outcome);
+        }
+    }
+}
+
+/// Empty per-block collection slots for a fresh run.
+fn empty_slots(n: usize) -> Vec<Option<BlockOutcome>> {
+    let mut v = Vec::with_capacity(n);
+    v.resize_with(n, || None);
+    v
+}
+
+fn expect_analysis(out: RunOutput) -> WorldAnalysis {
+    match out {
+        RunOutput::Analysis(a) => a,
+        RunOutput::Stats(_) => unreachable!("collect sink returns an analysis"),
+    }
+}
+
+fn expect_stats(out: RunOutput) -> WorldRunStats {
+    match out {
+        RunOutput::Stats(s) => s,
+        RunOutput::Analysis(_) => unreachable!("stats sink returns stats"),
+    }
 }
 
 /// Analyzes every block of `world` with `cfg`, using `threads` worker
@@ -360,7 +840,7 @@ pub fn analyze_world(
 /// [`analyze_world`] with an explicit [`WorldRunMode`]. Both modes produce
 /// byte-identical [`WorldBlockReport`]s (asserted by the `scratch_equiv`
 /// differential suite); [`WorldRunMode::SummaryOnly`] — the default — does
-/// it without per-block heap allocation.
+/// it without per-block heap allocation, batching same-length FFTs.
 pub fn analyze_world_with_mode(
     world: &World,
     cfg: &AnalysisConfig,
@@ -368,7 +848,95 @@ pub fn analyze_world_with_mode(
     progress: Option<&(dyn Fn(usize, usize) + Sync)>,
     mode: WorldRunMode,
 ) -> WorldAnalysis {
-    run_world(world, cfg, threads, progress, None, Vec::new(), mode)
+    let n = world.blocks.len();
+    expect_analysis(run_world(
+        Feed::World(world),
+        cfg,
+        threads,
+        progress,
+        None,
+        vec![false; n],
+        Sink::Collect(empty_slots(n)),
+        mode,
+    ))
+}
+
+/// [`analyze_world`] over a lazy [`WorldSource`]: blocks are synthesized
+/// chunk-by-chunk as workers claim them, so peak memory is
+/// O(threads × chunk) specs instead of the whole world. Byte-identical
+/// to materializing the source and calling [`analyze_world`] (the source
+/// is seed-keyed per block), at any thread count.
+pub fn analyze_world_source(
+    source: &WorldSource,
+    cfg: &AnalysisConfig,
+    threads: usize,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> WorldAnalysis {
+    let n = source.len();
+    expect_analysis(run_world(
+        Feed::Source(source),
+        cfg,
+        threads,
+        progress,
+        None,
+        vec![false; n],
+        Sink::Collect(empty_slots(n)),
+        WorldRunMode::SummaryOnly,
+    ))
+}
+
+/// Paper-scale entry point: lazy generation ([`WorldSource`]) and a
+/// streaming [`WorldRunStats`] sink — O(1) memory in the number of blocks.
+/// The aggregate equals [`WorldAnalysis::stats`] of the collected run
+/// exactly.
+pub fn analyze_world_stats(
+    source: &WorldSource,
+    cfg: &AnalysisConfig,
+    threads: usize,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> WorldRunStats {
+    let n = source.len();
+    expect_stats(run_world(
+        Feed::Source(source),
+        cfg,
+        threads,
+        progress,
+        None,
+        vec![false; n],
+        Sink::Stats(WorldRunStats::default()),
+        WorldRunMode::SummaryOnly,
+    ))
+}
+
+/// Builds the journal prefill for a resumable run: opens (or validates)
+/// the journal at `path` and returns the writer, the replay skip-mask,
+/// and the replayed reports.
+fn open_journal(
+    path: &Path,
+    seed: u64,
+    n: usize,
+    cfg: &AnalysisConfig,
+) -> Result<(JournalWriter, Vec<bool>, Vec<WorldBlockReport>), JournalError> {
+    let header = JournalHeader {
+        world_seed: seed,
+        num_blocks: n as u64,
+        rounds: cfg.rounds,
+        start_time: cfg.start_time,
+    };
+    let (writer, replayed, _stats) = journal::open_resume(path, &header)?;
+    let mut skip = vec![false; n];
+    let mut kept = Vec::with_capacity(replayed.len());
+    for rep in replayed {
+        let idx = rep.summary.block_id as usize;
+        // Defensive: only trust records that name a real slot of this
+        // world (generated worlds satisfy `blocks[i].id == i`), first
+        // record wins.
+        if idx < n && !skip[idx] {
+            skip[idx] = true;
+            kept.push(rep);
+        }
+    }
+    Ok((writer, skip, kept))
 }
 
 /// [`analyze_world`] with a crash-safe checkpoint journal at
@@ -410,25 +978,83 @@ pub fn analyze_world_resumable_with_mode(
     mode: WorldRunMode,
 ) -> Result<WorldAnalysis, JournalError> {
     let n = world.blocks.len();
-    let header = JournalHeader {
-        world_seed: world.cfg.seed,
-        num_blocks: n as u64,
-        rounds: cfg.rounds,
-        start_time: cfg.start_time,
-    };
-    let (writer, replayed, _stats) = journal::open_resume(journal_path, &header)?;
-    let mut prefilled: Vec<Option<BlockOutcome>> = Vec::with_capacity(n);
-    prefilled.resize_with(n, || None);
+    let (writer, skip, replayed) = open_journal(journal_path, world.cfg.seed, n, cfg)?;
+    let mut slots = empty_slots(n);
     for rep in replayed {
         let idx = rep.summary.block_id as usize;
-        // Defensive: only trust records that name a real slot of this
-        // world (generated worlds satisfy `blocks[i].id == i`).
-        if idx < n && world.blocks[idx].id == rep.summary.block_id && prefilled[idx].is_none() {
-            prefilled[idx] = Some(BlockOutcome::Analyzed(rep));
-        }
+        slots[idx] = Some(BlockOutcome::Analyzed(rep));
     }
     let jmutex = parking_lot::Mutex::new(Some(writer));
-    Ok(run_world(world, cfg, threads, progress, Some(&jmutex), prefilled, mode))
+    Ok(expect_analysis(run_world(
+        Feed::World(world),
+        cfg,
+        threads,
+        progress,
+        Some(&jmutex),
+        skip,
+        Sink::Collect(slots),
+        mode,
+    )))
+}
+
+/// [`analyze_world_source`] with the checkpoint journal of
+/// [`analyze_world_resumable`]. Chunks whose blocks were all replayed are
+/// never regenerated — resuming a mostly finished paper-scale run costs
+/// only the missing tail.
+pub fn analyze_world_source_resumable(
+    source: &WorldSource,
+    cfg: &AnalysisConfig,
+    threads: usize,
+    journal_path: &Path,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> Result<WorldAnalysis, JournalError> {
+    let n = source.len();
+    let (writer, skip, replayed) = open_journal(journal_path, source.cfg().seed, n, cfg)?;
+    let mut slots = empty_slots(n);
+    for rep in replayed {
+        let idx = rep.summary.block_id as usize;
+        slots[idx] = Some(BlockOutcome::Analyzed(rep));
+    }
+    let jmutex = parking_lot::Mutex::new(Some(writer));
+    Ok(expect_analysis(run_world(
+        Feed::Source(source),
+        cfg,
+        threads,
+        progress,
+        Some(&jmutex),
+        skip,
+        Sink::Collect(slots),
+        WorldRunMode::SummaryOnly,
+    )))
+}
+
+/// [`analyze_world_stats`] with the checkpoint journal: replayed blocks
+/// fold straight into the aggregate, unreplayed chunks are generated and
+/// analyzed, and the result equals an uninterrupted stats run exactly.
+pub fn analyze_world_stats_resumable(
+    source: &WorldSource,
+    cfg: &AnalysisConfig,
+    threads: usize,
+    journal_path: &Path,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> Result<WorldRunStats, JournalError> {
+    let n = source.len();
+    let (writer, skip, replayed) = open_journal(journal_path, source.cfg().seed, n, cfg)?;
+    let mut stats = WorldRunStats::default();
+    for rep in &replayed {
+        stats.absorb_report(rep);
+    }
+    let jmutex = parking_lot::Mutex::new(Some(writer));
+    Ok(expect_stats(run_world(
+        Feed::Source(source),
+        cfg,
+        threads,
+        progress,
+        Some(&jmutex),
+        skip,
+        Sink::Stats(stats),
+        WorldRunMode::SummaryOnly,
+    )))
 }
 
 /// [`analyze_world`], additionally returning a [`RunReport`] isolating the
@@ -483,6 +1109,18 @@ impl WorldAnalysis {
     /// `true` when no blocks were analyzed.
     pub fn is_empty(&self) -> bool {
         self.reports.is_empty()
+    }
+
+    /// The streaming aggregate of this analysis — identical to what
+    /// [`analyze_world_stats`] would have produced for the same run.
+    pub fn stats(&self) -> WorldRunStats {
+        let mut stats = WorldRunStats::default();
+        for r in &self.reports {
+            stats.absorb_report(r);
+        }
+        stats.quarantined = self.quarantined.clone();
+        stats.quarantined.sort_by_key(|q| q.block_id);
+        stats
     }
 
     /// Count and fraction of strictly diurnal blocks.
@@ -583,6 +1221,40 @@ mod tests {
     }
 
     #[test]
+    fn lazy_source_run_matches_materialized_world_run() {
+        // The tentpole equivalence: pulling blocks lazily from a
+        // WorldSource (chunked generation + batched FFTs) must be
+        // byte-identical to materializing the world first.
+        let cfg_w = WorldConfig { num_blocks: 70, seed: 33, span_days: 4.0, ..Default::default() };
+        let world = World::generate(cfg_w.clone());
+        let cfg = AnalysisConfig::over_days(world.cfg.start_time, 4.0);
+        let from_world = analyze_world(&world, &cfg, 2, None);
+        let source = WorldSource::new(cfg_w);
+        let from_source = analyze_world_source(&source, &cfg, 3, None);
+        assert_eq!(
+            format!("{:?}", from_world.reports),
+            format!("{:?}", from_source.reports),
+            "lazy source run diverged from materialized run"
+        );
+        assert!(from_source.quarantined.is_empty());
+    }
+
+    #[test]
+    fn stats_sink_matches_collected_analysis() {
+        let cfg_w = WorldConfig { num_blocks: 60, seed: 21, span_days: 4.0, ..Default::default() };
+        let source = WorldSource::new(cfg_w.clone());
+        let cfg = AnalysisConfig::over_days(source.cfg().start_time, 4.0);
+        let stats = analyze_world_stats(&source, &cfg, 2, None);
+        let collected = tiny_analysis(); // same world cfg as `source`
+        assert_eq!(stats, collected.stats(), "streaming aggregate diverged from collected run");
+        assert_eq!(stats.blocks, 60);
+        let (_, sf) = stats.strict_fraction();
+        assert!((0.0..=1.0).contains(&sf));
+        let (tp, fp, fneg, tn) = stats.confusion_vs_planted();
+        assert_eq!(tp + fp + fneg + tn, stats.blocks);
+    }
+
+    #[test]
     fn geolocation_coverage_near_ninety_three_percent() {
         let a = tiny_analysis();
         let located = a.reports.iter().filter(|r| r.location.is_some()).count();
@@ -649,6 +1321,40 @@ mod tests {
     }
 
     #[test]
+    fn resumed_run_surfaces_replayed_progress_first() {
+        // Satellite: a resumed run's first progress report is the replayed
+        // base, not a jump straight to (n, n) — while the exactly-one-final
+        // guarantee still holds.
+        let world = World::generate(WorldConfig {
+            num_blocks: 20,
+            seed: 13,
+            span_days: 3.0,
+            ..Default::default()
+        });
+        let cfg = AnalysisConfig::over_days(world.cfg.start_time, 3.0);
+        let dir = std::env::temp_dir().join(format!("swresumeprog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("partial.journal");
+        let _ = std::fs::remove_file(&path);
+        // First pass: block 7 panics, so the journal holds 19 of 20.
+        hooks::plant_block_panic(7);
+        let first = analyze_world_resumable(&world, &cfg, 2, &path, None).unwrap();
+        hooks::clear_block_panics();
+        assert_eq!(first.quarantined.len(), 1);
+        // Resume: 19 replayed, 1 recomputed.
+        let calls = parking_lot::Mutex::new(Vec::new());
+        let cb = |d: usize, n: usize| calls.lock().push((d, n));
+        let resumed = analyze_world_resumable(&world, &cfg, 2, &path, Some(&cb)).unwrap();
+        assert!(resumed.quarantined.is_empty());
+        assert_eq!(resumed.len(), 20);
+        let calls = calls.into_inner();
+        assert_eq!(calls.first(), Some(&(19, 20)), "replayed base must surface: {calls:?}");
+        assert_eq!(calls.last(), Some(&(20, 20)));
+        assert_eq!(calls.iter().filter(|&&c| c == (20, 20)).count(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn with_report_returns_identical_analysis_and_labelled_report() {
         let world = World::generate(WorldConfig {
             num_blocks: 12,
@@ -705,6 +1411,24 @@ mod tests {
         // And a second pass replays everything from the journal.
         let replayed = analyze_world_resumable(&world, &cfg, 2, &path, None).unwrap();
         assert_eq!(format!("{:?}", plain.reports), format!("{:?}", replayed.reports));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stats_resumable_matches_fresh_stats() {
+        let cfg_w = WorldConfig { num_blocks: 30, seed: 17, span_days: 3.0, ..Default::default() };
+        let source = WorldSource::new(cfg_w.clone());
+        let cfg = AnalysisConfig::over_days(source.cfg().start_time, 3.0);
+        let dir = std::env::temp_dir().join(format!("swstatsres-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.journal");
+        let _ = std::fs::remove_file(&path);
+        let fresh = analyze_world_stats(&source, &cfg, 2, None);
+        let journaled = analyze_world_stats_resumable(&source, &cfg, 2, &path, None).unwrap();
+        assert_eq!(fresh, journaled);
+        // Second pass: everything replays, nothing is regenerated.
+        let replayed = analyze_world_stats_resumable(&source, &cfg, 2, &path, None).unwrap();
+        assert_eq!(fresh, replayed);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -99,6 +99,17 @@ pub struct FftMetrics {
     pub by_length: LengthCounts,
 }
 
+/// Batched-spectral kernel telemetry (the structure-of-arrays real-FFT
+/// path used by paper-scale world runs).
+pub struct SpectralMetrics {
+    /// Batched real-FFT kernel invocations (one per same-length group,
+    /// regardless of lane count).
+    pub batched_ffts: Counter,
+    /// Series transformed through the batched kernel (sum of lane counts;
+    /// also counted in `fft.transforms`).
+    pub batched_series: Counter,
+}
+
 /// Per-block pipeline counters and stage wall-time histograms.
 pub struct PipelineMetrics {
     /// Blocks fully analysed by `analyze_block`.
@@ -135,6 +146,12 @@ pub struct WorldMetrics {
     /// Times a worker's local result batch had to grow its capacity
     /// (should stay 0: batches are pre-sized and flushed before full).
     pub batch_grows: Counter,
+    /// Chunks claimed from a lazy `WorldSource` that generated at least
+    /// one block (fully-journaled chunks skip generation entirely).
+    pub source_chunks: Counter,
+    /// End-to-end throughput of the largest completed world run, in
+    /// blocks per second (freshly analysed blocks / wall-clock).
+    pub blocks_per_sec: Gauge,
     /// Blocks analysed per worker index, to see scheduling balance.
     pub worker_blocks: LengthCounts,
 }
@@ -187,6 +204,8 @@ pub struct Registry {
     pub plan_cache: PlanCacheMetrics,
     /// FFT execution.
     pub fft: FftMetrics,
+    /// Batched-spectral kernels.
+    pub spectral: SpectralMetrics,
     /// Per-block analysis pipeline.
     pub pipeline: PipelineMetrics,
     /// World-run orchestration.
@@ -247,6 +266,10 @@ impl Registry {
                 alloc_transforms: Counter::new(on),
                 by_length: LengthCounts::new(on),
             },
+            spectral: SpectralMetrics {
+                batched_ffts: Counter::new(on),
+                batched_series: Counter::new(on),
+            },
             pipeline: PipelineMetrics {
                 blocks_analyzed: Counter::new(on),
                 blocks_rejected: Counter::new(on),
@@ -268,6 +291,8 @@ impl Registry {
                 max_world_blocks: Gauge::new(on),
                 peak_block_bytes: Gauge::new(on),
                 batch_grows: Counter::new(on),
+                source_chunks: Counter::new(on),
+                blocks_per_sec: Gauge::new(on),
                 worker_blocks: LengthCounts::new(on),
             },
             simnet: SimnetMetrics {

@@ -61,6 +61,8 @@ impl Snapshot {
         c.insert("plan_cache.prewarms", reg.plan_cache.prewarms.get());
         c.insert("fft.transforms", reg.fft.transforms.get());
         c.insert("fft.alloc_transforms", reg.fft.alloc_transforms.get());
+        c.insert("spectral.batched_ffts", reg.spectral.batched_ffts.get());
+        c.insert("spectral.batched_series", reg.spectral.batched_series.get());
         c.insert("pipeline.blocks_analyzed", reg.pipeline.blocks_analyzed.get());
         c.insert("pipeline.blocks_rejected", reg.pipeline.blocks_rejected.get());
         c.insert("pipeline.scratch_reuses", reg.pipeline.scratch_reuses.get());
@@ -70,6 +72,8 @@ impl Snapshot {
         c.insert("world.max_world_blocks", reg.world.max_world_blocks.get());
         c.insert("world.peak_block_bytes", reg.world.peak_block_bytes.get());
         c.insert("world.batch_grows", reg.world.batch_grows.get());
+        c.insert("world.source_chunks", reg.world.source_chunks.get());
+        c.insert("world.blocks_per_sec", reg.world.blocks_per_sec.get());
         c.insert("simnet.worlds_generated", reg.simnet.worlds_generated.get());
         c.insert("simnet.blocks_generated", reg.simnet.blocks_generated.get());
         c.insert("geo.locate_hits", reg.geo.locate_hits.get());
@@ -118,7 +122,10 @@ impl Snapshot {
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
         let mut out = Snapshot::default();
         for (&k, &v) in &self.counters {
-            let base = if matches!(k, "world.max_world_blocks" | "world.peak_block_bytes") {
+            let base = if matches!(
+                k,
+                "world.max_world_blocks" | "world.peak_block_bytes" | "world.blocks_per_sec"
+            ) {
                 0 // gauges: keep the high-water mark, not a difference
             } else {
                 earlier.counter(k)

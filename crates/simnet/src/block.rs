@@ -82,7 +82,7 @@ impl ProbeOutcome {
 }
 
 /// Population parameters of one block.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockProfile {
     /// Addresses that are up around the clock.
     pub n_stable: u16,
@@ -168,7 +168,7 @@ fn jittered_avail(base: f64, block: &BlockSpec, addr: u8) -> f64 {
 }
 
 /// One /24 block of the synthetic world.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockSpec {
     /// Block index, unique in the world.
     pub id: u64,

@@ -149,9 +149,36 @@ fn weighted_pick<T: Copy>(rng: &mut KeyedRng, table: &[(T, f64)]) -> T {
     table.last().expect("non-empty table").0
 }
 
-impl World {
-    /// Synthesizes a world from `cfg`. Deterministic in `cfg`.
-    pub fn generate(cfg: WorldConfig) -> World {
+/// A lazy, seed-keyed block generator: the shared world structure
+/// (country tables, allocation registry, geo database, AS inventory)
+/// without the `Vec<BlockSpec>`.
+///
+/// Every block's randomness is keyed by `(seed, stream, id)` alone, so any
+/// block — and therefore any id-range shard — can be synthesized
+/// independently, in any order, on any worker, and is bit-identical to the
+/// block [`World::generate`] would have produced at that index. Paper-scale
+/// runs (3.7M blocks) pull chunks from a `WorldSource` instead of
+/// materializing ~1 GB of specs up front, bounding peak memory at
+/// O(workers × chunk).
+#[derive(Debug)]
+pub struct WorldSource {
+    cfg: WorldConfig,
+    countries: Vec<&'static Country>,
+    /// Cumulative sampling weights, aligned with `countries`.
+    cumulative: Vec<f64>,
+    /// Per-country AS inventories, aligned with `countries`.
+    country_asns: Vec<Vec<u32>>,
+    registry: AllocationRegistry,
+    geodb: GeoDatabase,
+    as_records: Vec<AsRecord>,
+    exhaustion: YearMonth,
+    span_seconds: u64,
+}
+
+impl WorldSource {
+    /// Builds the shared structure for `cfg` without generating any block.
+    /// Deterministic in `cfg`.
+    pub fn new(cfg: WorldConfig) -> WorldSource {
         let countries: Vec<&'static Country> = match &cfg.country_filter {
             Some(codes) => COUNTRIES.iter().filter(|c| codes.contains(&c.code)).collect(),
             None => COUNTRIES.iter().collect(),
@@ -173,206 +200,271 @@ impl World {
 
         let span_seconds = (cfg.span_days * 86_400.0) as u64;
         let exhaustion = registry.exhaustion();
-
-        let blocks = (0..cfg.num_blocks as u64)
-            .map(|id| {
-                let mut rng = KeyedRng::from_parts(&[cfg.seed, STREAM_BLOCK, id]);
-
-                // 1. Country.
-                let u = rng.next_f64();
-                let ci = cumulative.iter().position(|&c| u <= c).unwrap_or(countries.len() - 1);
-                let country = countries[ci];
-                let country_idx = COUNTRIES
-                    .iter()
-                    .position(|c| c.code == country.code)
-                    .expect("filtered from the same table");
-
-                // 2. Planted diurnal label.
-                let propensity = (country.diurnal_propensity * cfg.propensity_scale).min(0.95);
-                let diurnal = rng.chance(propensity);
-
-                // 3. True position.
-                let lon = (country.lon + rng.normal() * country.lon_spread).clamp(-179.9, 179.9);
-                let lat = (country.lat + rng.normal() * country.lat_spread).clamp(-85.0, 85.0);
-
-                // 4. Allocation: diurnal blocks skew toward late /8s (§5.3).
-                let rir = Rir::for_region(country.region);
-                let first = YearMonth::new(country.first_alloc_year, 1);
-                let window = exhaustion.months_between(first).max(1) as f64;
-                let frac = if diurnal {
-                    rng.next_f64().powf(0.45) // late-skewed
-                } else {
-                    rng.next_f64().powf(1.6) // early-skewed
-                };
-                let target = YearMonth::from_months_since_epoch(
-                    first.months_since_epoch() + (frac * window) as i64,
-                );
-                let prefix8 = Self::pick_prefix_near(&registry, rir, target, cfg.seed ^ id);
-                let alloc_date = registry.date_of(prefix8).expect("picked from registry");
-
-                // 5. AS.
-                let asns = &country_asns[ci];
-                let asn = asns[rng.below(asns.len() as u64) as usize];
-
-                // 6. Link classes: 1 primary, sometimes a secondary.
-                let mix: &[(LinkClass, f64)] =
-                    if diurnal { &DIURNAL_LINK_MIX } else { &ALWAYSON_LINK_MIX };
-                let mut links = vec![weighted_pick(&mut rng, mix)];
-                if rng.chance(0.25) {
-                    let second = weighted_pick(&mut rng, mix);
-                    if second != links[0] {
-                        links.push(second);
-                    }
-                }
-
-                // 7. Address population.
-                let profile = if diurnal {
-                    let e = 32 + rng.below(225) as u16; // 32..=256
-                    let n_stable = ((e as f64) * rng.range(0.05, 0.30)) as u16;
-                    BlockProfile {
-                        n_stable,
-                        n_diurnal: e - n_stable,
-                        stable_avail: rng.range(0.6, 0.95),
-                        diurnal_avail: rng.range(0.55, 0.95),
-                        // Business-day usage: on in the local morning.
-                        onset_hours: 7.5 + rng.normal() * 1.2,
-                        onset_spread: rng.range(0.5, 3.5),
-                        duration_hours: rng.range(8.0, 14.0),
-                        duration_spread: rng.range(0.5, 3.0),
-                        sigma_start: rng.range(0.2, 1.2),
-                        sigma_duration: rng.range(0.2, 1.5),
-                        utc_offset_hours: country.utc_offset_hours(),
-                    }
-                } else {
-                    // Archetypes from §3.1.1: sparse/high-A, dense/low-A,
-                    // and a broad middle; a few also carry a *minority* of
-                    // diurnal addresses (decentralized dynamic pockets, as
-                    // found at USC).
-                    let arch = rng.next_f64();
-                    let (e, avail) = if arch < 0.30 {
-                        (16 + rng.below(48) as u16, rng.range(0.55, 0.95))
-                    } else if arch < 0.50 {
-                        (180 + rng.below(77) as u16, rng.range(0.10, 0.45))
-                    } else {
-                        (64 + rng.below(116) as u16, rng.range(0.30, 0.90))
-                    };
-                    let minority_diurnal = if rng.chance(0.15) {
-                        ((e as f64) * rng.range(0.02, 0.10)) as u16
-                    } else {
-                        0
-                    };
-                    BlockProfile {
-                        n_stable: e - minority_diurnal,
-                        n_diurnal: minority_diurnal,
-                        stable_avail: avail,
-                        diurnal_avail: avail,
-                        onset_hours: 7.5 + rng.normal() * 1.5,
-                        onset_spread: rng.range(0.5, 3.0),
-                        duration_hours: rng.range(8.0, 12.0),
-                        duration_spread: 1.0,
-                        sigma_start: 0.5,
-                        sigma_duration: 0.5,
-                        utc_offset_hours: country.utc_offset_hours(),
-                    }
-                };
-
-                // 8. Slow availability drift: a quarter of blocks renumber
-                //    or grow over the observation window; the paper finds
-                //    ~80 % of blocks drift less than 1 address/day.
-                let drift_addr_per_day = if rng.chance(0.25) {
-                    let mag = rng.range(0.3, 3.5);
-                    if rng.chance(0.5) {
-                        mag
-                    } else {
-                        -mag
-                    }
-                } else {
-                    0.0
-                };
-
-                // 9. Outage injection.
-                let mut og = KeyedRng::from_parts(&[cfg.seed, STREAM_OUTAGE, id]);
-                let outage = if og.chance(cfg.outage_fraction) && span_seconds > 0 {
-                    let dur = (3_600.0 * og.range(1.0, 24.0)) as u64;
-                    let start = cfg.start_time + og.below(span_seconds.saturating_sub(dur).max(1));
-                    Some((start, start + dur))
-                } else {
-                    None
-                };
-
-                // 10. Stale historical estimate for estimator startup.
-                let duty = (profile.duration_hours / 24.0).min(1.0);
-                let e_cnt = profile.ever_active() as f64;
-                let long_run = if e_cnt > 0.0 {
-                    (profile.n_stable as f64 * profile.stable_avail
-                        + profile.n_diurnal as f64 * profile.diurnal_avail * duty)
-                        / e_cnt
-                } else {
-                    0.0
-                };
-                let hist_avail = if rng.chance(0.8) {
-                    (long_run + rng.range(-0.08, 0.08)).clamp(0.1, 1.0)
-                } else {
-                    rng.range(0.1, 1.0) // badly stale, as in Fig. 1's start
-                };
-
-                // 11. Address permutation (scatter slots over the /24).
-                let perm_offset = rng.below(256) as u8;
-                let perm_step = (rng.below(128) as u8) * 2 + 1;
-
-                BlockSpec {
-                    id,
-                    seed: cfg.seed,
-                    country_idx,
-                    asn,
-                    prefix8,
-                    alloc_date,
-                    lon,
-                    lat,
-                    links,
-                    profile,
-                    outage,
-                    lease: None,
-                    // Mild weekend quieting for a third of always-on
-                    // enterprise-ish blocks; homes don't sleep weekends.
-                    weekend_scale: if !diurnal && rng.chance(0.2) {
-                        rng.range(0.8, 0.97)
-                    } else {
-                        1.0
-                    },
-                    drift_addr_per_day,
-                    drift_ref: cfg.start_time,
-                    hist_avail,
-                    planted_diurnal: diurnal,
-                    perm_offset,
-                    perm_step,
-                }
-            })
-            .collect();
-
-        let obs = sleepwatch_obs::global();
-        obs.simnet.worlds_generated.incr();
-        obs.simnet.blocks_generated.add(cfg.num_blocks as u64);
-        World { cfg, blocks, registry, geodb, as_records }
+        WorldSource {
+            cfg,
+            countries,
+            cumulative,
+            country_asns,
+            registry,
+            geodb,
+            as_records,
+            exhaustion,
+            span_seconds,
+        }
     }
 
-    /// Picks the /8 whose allocation date is nearest `target` within `rir`
-    /// (small keyed tie-jitter so one date doesn't absorb everything).
-    fn pick_prefix_near(
-        registry: &AllocationRegistry,
-        rir: Rir,
-        target: YearMonth,
-        key: u64,
-    ) -> u8 {
-        let mut rng = KeyedRng::from_parts(&[0x6e65_6172, key]);
-        let jitter = rng.below(7) as i64 - 3;
-        registry
-            .entries()
+    /// The configuration this source serves.
+    pub fn cfg(&self) -> &WorldConfig {
+        &self.cfg
+    }
+
+    /// Number of blocks in the world (`cfg.num_blocks`).
+    pub fn len(&self) -> usize {
+        self.cfg.num_blocks
+    }
+
+    /// `true` for a zero-block world.
+    pub fn is_empty(&self) -> bool {
+        self.cfg.num_blocks == 0
+    }
+
+    /// The geolocation database shared by every block.
+    pub fn geodb(&self) -> &GeoDatabase {
+        &self.geodb
+    }
+
+    /// The /8 allocation registry.
+    pub fn registry(&self) -> &AllocationRegistry {
+        &self.registry
+    }
+
+    /// WHOIS-style AS records for every AS in use.
+    pub fn as_records(&self) -> &[AsRecord] {
+        &self.as_records
+    }
+
+    /// Synthesizes block `id`. Bit-identical to `World::generate`'s block
+    /// at the same index regardless of which other blocks were generated.
+    pub fn generate_block(&self, id: u64) -> BlockSpec {
+        let spec = self.synthesize(id);
+        sleepwatch_obs::global().simnet.blocks_generated.incr();
+        spec
+    }
+
+    /// Synthesizes the given ids into `out` (cleared first), in order.
+    /// One counter update for the whole shard keeps telemetry out of the
+    /// per-block path.
+    pub fn generate_into(&self, ids: impl IntoIterator<Item = u64>, out: &mut Vec<BlockSpec>) {
+        out.clear();
+        out.extend(ids.into_iter().map(|id| self.synthesize(id)));
+        sleepwatch_obs::global().simnet.blocks_generated.add(out.len() as u64);
+    }
+
+    /// Materializes every block, consuming the source.
+    pub fn into_world(self) -> World {
+        let blocks: Vec<BlockSpec> =
+            (0..self.cfg.num_blocks as u64).map(|id| self.synthesize(id)).collect();
+        let obs = sleepwatch_obs::global();
+        obs.simnet.worlds_generated.incr();
+        obs.simnet.blocks_generated.add(blocks.len() as u64);
+        World {
+            cfg: self.cfg,
+            blocks,
+            registry: self.registry,
+            geodb: self.geodb,
+            as_records: self.as_records,
+        }
+    }
+
+    /// The uncounted per-block generator; all public entry points funnel
+    /// here so they stay bit-identical.
+    fn synthesize(&self, id: u64) -> BlockSpec {
+        let cfg = &self.cfg;
+        let mut rng = KeyedRng::from_parts(&[cfg.seed, STREAM_BLOCK, id]);
+
+        // 1. Country.
+        let u = rng.next_f64();
+        let ci = self.cumulative.iter().position(|&c| u <= c).unwrap_or(self.countries.len() - 1);
+        let country = self.countries[ci];
+        let country_idx = COUNTRIES
             .iter()
-            .filter(|e| e.rir == rir)
-            .min_by_key(|e| (e.date.months_between(target) + jitter).abs())
-            .map(|e| e.prefix)
-            .unwrap_or(1)
+            .position(|c| c.code == country.code)
+            .expect("filtered from the same table");
+
+        // 2. Planted diurnal label.
+        let propensity = (country.diurnal_propensity * cfg.propensity_scale).min(0.95);
+        let diurnal = rng.chance(propensity);
+
+        // 3. True position.
+        let lon = (country.lon + rng.normal() * country.lon_spread).clamp(-179.9, 179.9);
+        let lat = (country.lat + rng.normal() * country.lat_spread).clamp(-85.0, 85.0);
+
+        // 4. Allocation: diurnal blocks skew toward late /8s (§5.3).
+        let rir = Rir::for_region(country.region);
+        let first = YearMonth::new(country.first_alloc_year, 1);
+        let window = self.exhaustion.months_between(first).max(1) as f64;
+        let frac = if diurnal {
+            rng.next_f64().powf(0.45) // late-skewed
+        } else {
+            rng.next_f64().powf(1.6) // early-skewed
+        };
+        let target =
+            YearMonth::from_months_since_epoch(first.months_since_epoch() + (frac * window) as i64);
+        let prefix8 = pick_prefix_near(&self.registry, rir, target, cfg.seed ^ id);
+        let alloc_date = self.registry.date_of(prefix8).expect("picked from registry");
+
+        // 5. AS.
+        let asns = &self.country_asns[ci];
+        let asn = asns[rng.below(asns.len() as u64) as usize];
+
+        // 6. Link classes: 1 primary, sometimes a secondary.
+        let mix: &[(LinkClass, f64)] = if diurnal { &DIURNAL_LINK_MIX } else { &ALWAYSON_LINK_MIX };
+        let mut links = vec![weighted_pick(&mut rng, mix)];
+        if rng.chance(0.25) {
+            let second = weighted_pick(&mut rng, mix);
+            if second != links[0] {
+                links.push(second);
+            }
+        }
+
+        // 7. Address population.
+        let profile = if diurnal {
+            let e = 32 + rng.below(225) as u16; // 32..=256
+            let n_stable = ((e as f64) * rng.range(0.05, 0.30)) as u16;
+            BlockProfile {
+                n_stable,
+                n_diurnal: e - n_stable,
+                stable_avail: rng.range(0.6, 0.95),
+                diurnal_avail: rng.range(0.55, 0.95),
+                // Business-day usage: on in the local morning.
+                onset_hours: 7.5 + rng.normal() * 1.2,
+                onset_spread: rng.range(0.5, 3.5),
+                duration_hours: rng.range(8.0, 14.0),
+                duration_spread: rng.range(0.5, 3.0),
+                sigma_start: rng.range(0.2, 1.2),
+                sigma_duration: rng.range(0.2, 1.5),
+                utc_offset_hours: country.utc_offset_hours(),
+            }
+        } else {
+            // Archetypes from §3.1.1: sparse/high-A, dense/low-A,
+            // and a broad middle; a few also carry a *minority* of
+            // diurnal addresses (decentralized dynamic pockets, as
+            // found at USC).
+            let arch = rng.next_f64();
+            let (e, avail) = if arch < 0.30 {
+                (16 + rng.below(48) as u16, rng.range(0.55, 0.95))
+            } else if arch < 0.50 {
+                (180 + rng.below(77) as u16, rng.range(0.10, 0.45))
+            } else {
+                (64 + rng.below(116) as u16, rng.range(0.30, 0.90))
+            };
+            let minority_diurnal =
+                if rng.chance(0.15) { ((e as f64) * rng.range(0.02, 0.10)) as u16 } else { 0 };
+            BlockProfile {
+                n_stable: e - minority_diurnal,
+                n_diurnal: minority_diurnal,
+                stable_avail: avail,
+                diurnal_avail: avail,
+                onset_hours: 7.5 + rng.normal() * 1.5,
+                onset_spread: rng.range(0.5, 3.0),
+                duration_hours: rng.range(8.0, 12.0),
+                duration_spread: 1.0,
+                sigma_start: 0.5,
+                sigma_duration: 0.5,
+                utc_offset_hours: country.utc_offset_hours(),
+            }
+        };
+
+        // 8. Slow availability drift: a quarter of blocks renumber
+        //    or grow over the observation window; the paper finds
+        //    ~80 % of blocks drift less than 1 address/day.
+        let drift_addr_per_day = if rng.chance(0.25) {
+            let mag = rng.range(0.3, 3.5);
+            if rng.chance(0.5) {
+                mag
+            } else {
+                -mag
+            }
+        } else {
+            0.0
+        };
+
+        // 9. Outage injection.
+        let mut og = KeyedRng::from_parts(&[cfg.seed, STREAM_OUTAGE, id]);
+        let outage = if og.chance(cfg.outage_fraction) && self.span_seconds > 0 {
+            let dur = (3_600.0 * og.range(1.0, 24.0)) as u64;
+            let start = cfg.start_time + og.below(self.span_seconds.saturating_sub(dur).max(1));
+            Some((start, start + dur))
+        } else {
+            None
+        };
+
+        // 10. Stale historical estimate for estimator startup.
+        let duty = (profile.duration_hours / 24.0).min(1.0);
+        let e_cnt = profile.ever_active() as f64;
+        let long_run = if e_cnt > 0.0 {
+            (profile.n_stable as f64 * profile.stable_avail
+                + profile.n_diurnal as f64 * profile.diurnal_avail * duty)
+                / e_cnt
+        } else {
+            0.0
+        };
+        let hist_avail = if rng.chance(0.8) {
+            (long_run + rng.range(-0.08, 0.08)).clamp(0.1, 1.0)
+        } else {
+            rng.range(0.1, 1.0) // badly stale, as in Fig. 1's start
+        };
+
+        // 11. Address permutation (scatter slots over the /24).
+        let perm_offset = rng.below(256) as u8;
+        let perm_step = (rng.below(128) as u8) * 2 + 1;
+
+        BlockSpec {
+            id,
+            seed: cfg.seed,
+            country_idx,
+            asn,
+            prefix8,
+            alloc_date,
+            lon,
+            lat,
+            links,
+            profile,
+            outage,
+            lease: None,
+            // Mild weekend quieting for a third of always-on
+            // enterprise-ish blocks; homes don't sleep weekends.
+            weekend_scale: if !diurnal && rng.chance(0.2) { rng.range(0.8, 0.97) } else { 1.0 },
+            drift_addr_per_day,
+            drift_ref: cfg.start_time,
+            hist_avail,
+            planted_diurnal: diurnal,
+            perm_offset,
+            perm_step,
+        }
+    }
+}
+
+/// Picks the /8 whose allocation date is nearest `target` within `rir`
+/// (small keyed tie-jitter so one date doesn't absorb everything).
+fn pick_prefix_near(registry: &AllocationRegistry, rir: Rir, target: YearMonth, key: u64) -> u8 {
+    let mut rng = KeyedRng::from_parts(&[0x6e65_6172, key]);
+    let jitter = rng.below(7) as i64 - 3;
+    registry
+        .entries()
+        .iter()
+        .filter(|e| e.rir == rir)
+        .min_by_key(|e| (e.date.months_between(target) + jitter).abs())
+        .map(|e| e.prefix)
+        .unwrap_or(1)
+}
+
+impl World {
+    /// Synthesizes a world from `cfg`. Deterministic in `cfg`, and
+    /// equivalent to materializing every block of
+    /// [`WorldSource::new(cfg)`](WorldSource::new).
+    pub fn generate(cfg: WorldConfig) -> World {
+        WorldSource::new(cfg).into_world()
     }
 
     /// The country of a block.
@@ -415,6 +507,21 @@ mod tests {
             assert_eq!(x.planted_diurnal, y.planted_diurnal);
             assert_eq!(x.profile.ever_active(), y.profile.ever_active());
         }
+    }
+
+    #[test]
+    fn source_shards_match_materialized_world_exactly() {
+        let cfg = WorldConfig { num_blocks: 300, seed: 5, ..Default::default() };
+        let world = World::generate(cfg.clone());
+        let source = WorldSource::new(cfg);
+        // Single blocks, in arbitrary order.
+        for &id in &[299u64, 0, 137, 42] {
+            assert_eq!(source.generate_block(id), world.blocks[id as usize]);
+        }
+        // A mid-world shard, generated independently.
+        let mut shard = Vec::new();
+        source.generate_into(100..200, &mut shard);
+        assert_eq!(shard.as_slice(), &world.blocks[100..200]);
     }
 
     #[test]

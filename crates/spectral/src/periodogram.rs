@@ -182,6 +182,23 @@ impl SpectrumScratch {
         &self.spectrum
     }
 
+    /// Prepares the workspace for an externally computed transform of
+    /// length `n`: clears and zero-fills the coefficient buffer (the same
+    /// state [`compute_with_plan`](Self::compute_with_plan) hands the
+    /// scalar kernel), sets the sample period, and returns the buffer for
+    /// the caller to fill — the batched-FFT world path writes one lane of
+    /// [`FftPlan::real_batch_with_scratch`] straight into it.
+    ///
+    /// # Panics
+    /// Panics if `sample_period <= 0`.
+    pub fn prepare_coeffs(&mut self, n: usize, sample_period: f64) -> &mut [Complex] {
+        assert!(sample_period > 0.0, "sample period must be positive");
+        self.spectrum.coeffs.clear();
+        self.spectrum.coeffs.resize(n, Complex::ZERO);
+        self.spectrum.sample_period = sample_period;
+        &mut self.spectrum.coeffs
+    }
+
     /// The most recently computed spectrum.
     pub fn spectrum(&self) -> &Spectrum {
         &self.spectrum
