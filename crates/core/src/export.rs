@@ -106,6 +106,66 @@ pub fn write_dataset<W: Write>(w: &mut W, analysis: &WorldAnalysis) -> io::Resul
     Ok(())
 }
 
+/// The analysis as owned [`DatasetRow`]s with every float canonicalized
+/// to the TSV print precision — exactly the rows [`read_dataset`] would
+/// return after a [`write_dataset`] roundtrip, without going through
+/// text. This is the canonical input to [`crate::binfmt::encode_dataset`]:
+/// serializing these rows with [`write_dataset_rows`] is byte-identical
+/// to [`write_dataset`] on the same analysis.
+pub fn dataset_rows(analysis: &WorldAnalysis) -> Vec<DatasetRow> {
+    use crate::binfmt::canon;
+    analysis
+        .reports
+        .iter()
+        .map(|r| DatasetRow {
+            block_id: r.summary.block_id,
+            class: r.summary.class,
+            phase: r.summary.phase.map(|x| canon(x, 6)),
+            mean_a: canon(r.summary.mean_a, 6),
+            strongest_cpd: canon(r.summary.strongest_cpd, 4),
+            stationary: r.summary.stationary,
+            outages: r.summary.outages,
+            probes: r.summary.total_probes,
+            lon: r.location.map(|l| canon(l.lon, 6)),
+            lat: r.location.map(|l| canon(l.lat, 6)),
+            country: r.location.map(|l| l.country.to_string()),
+            centroid: r.location.map(|l| l.centroid_fallback).unwrap_or(false),
+            alloc: r.alloc_date.to_string(),
+            asn: r.asn,
+            links: r.link_features.iter().map(|f| f.keyword().to_string()).collect(),
+        })
+        .collect()
+}
+
+/// Writes owned rows as a TSV dataset with the exact [`write_dataset`]
+/// formatting, so a binary decode re-serializes byte-identically.
+pub fn write_dataset_rows<W: Write>(w: &mut W, rows: &[DatasetRow]) -> io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    let opt = |v: Option<f64>| v.map(|x| format!("{x:.6}")).unwrap_or_else(|| "-".into());
+    for r in rows {
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{:.6}\t{:.4}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.block_id,
+            class_str(r.class),
+            opt(r.phase),
+            r.mean_a,
+            r.strongest_cpd,
+            r.stationary as u8,
+            r.outages,
+            r.probes,
+            opt(r.lon),
+            opt(r.lat),
+            r.country.as_deref().unwrap_or("-"),
+            r.centroid as u8,
+            r.alloc,
+            r.asn,
+            if r.links.is_empty() { "-".to_string() } else { r.links.join(",") },
+        )?;
+    }
+    Ok(())
+}
+
 /// Errors from the path-based dataset entry points, carrying the file
 /// the failure happened on so callers can surface an actionable message.
 /// Hand-rolled (no derive-macro dependency), like [`ParseError`].
@@ -125,6 +185,21 @@ pub enum ExportError {
         /// What was malformed.
         source: ParseError,
     },
+    /// The rows could not be encoded into the binary container bound
+    /// for `path`.
+    Encode {
+        /// File involved.
+        path: PathBuf,
+        /// Why encoding failed.
+        source: crate::binfmt::EncodeError,
+    },
+    /// `path` held a malformed binary container.
+    Decode {
+        /// File involved.
+        path: PathBuf,
+        /// What was malformed.
+        source: crate::framing::DecodeError,
+    },
 }
 
 impl std::fmt::Display for ExportError {
@@ -136,6 +211,12 @@ impl std::fmt::Display for ExportError {
             ExportError::Parse { path, source } => {
                 write!(f, "{}: {source}", path.display())
             }
+            ExportError::Encode { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            ExportError::Decode { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
         }
     }
 }
@@ -145,6 +226,8 @@ impl std::error::Error for ExportError {
         match self {
             ExportError::Io { source, .. } => Some(source),
             ExportError::Parse { source, .. } => Some(source),
+            ExportError::Encode { source, .. } => Some(source),
+            ExportError::Decode { source, .. } => Some(source),
         }
     }
 }
@@ -166,6 +249,47 @@ pub fn read_dataset_file(path: &Path) -> Result<Vec<DatasetRow>, ExportError> {
         .map_err(|source| ExportError::Io { path: path.to_path_buf(), source })?;
     read_dataset(io::BufReader::new(file))
         .map_err(|source| ExportError::Parse { path: path.to_path_buf(), source })
+}
+
+/// Writes the analysis as a compact binary dataset
+/// ([`crate::binfmt`]): seed-joined against `world` when a
+/// configuration is supplied (the seed-derivable columns are elided and
+/// verified), self-contained otherwise.
+pub fn write_dataset_bin_file(
+    path: &Path,
+    analysis: &WorldAnalysis,
+    world: Option<&sleepwatch_simnet::WorldConfig>,
+) -> Result<(), ExportError> {
+    let rows = dataset_rows(analysis);
+    write_dataset_rows_bin_file(path, &rows, world)
+}
+
+/// Writes pre-canonicalized rows as a compact binary dataset file.
+pub fn write_dataset_rows_bin_file(
+    path: &Path,
+    rows: &[DatasetRow],
+    world: Option<&sleepwatch_simnet::WorldConfig>,
+) -> Result<(), ExportError> {
+    let mode = match world {
+        Some(cfg) => crate::binfmt::DatasetMode::SeedJoined(cfg),
+        None => crate::binfmt::DatasetMode::SelfContained,
+    };
+    let bytes = crate::binfmt::encode_dataset(rows, mode)
+        .map_err(|source| ExportError::Encode { path: path.to_path_buf(), source })?;
+    std::fs::write(path, bytes)
+        .map_err(|source| ExportError::Io { path: path.to_path_buf(), source })
+}
+
+/// Reads a compact binary dataset file. Seed-joined files need the
+/// matching `world` configuration; self-contained files ignore it.
+pub fn read_dataset_bin_file(
+    path: &Path,
+    world: Option<&sleepwatch_simnet::WorldConfig>,
+) -> Result<Vec<DatasetRow>, ExportError> {
+    let bytes = std::fs::read(path)
+        .map_err(|source| ExportError::Io { path: path.to_path_buf(), source })?;
+    crate::binfmt::decode_dataset(&bytes, world)
+        .map_err(|source| ExportError::Decode { path: path.to_path_buf(), source })
 }
 
 /// Errors from [`read_dataset`].
@@ -363,6 +487,45 @@ mod tests {
         assert!(matches!(err, ExportError::Parse { .. }));
         assert!(err.to_string().contains("ds.tsv"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dataset_rows_serialize_byte_identically() {
+        let a = analysis();
+        let mut direct = Vec::new();
+        write_dataset(&mut direct, &a).unwrap();
+        let mut via_rows = Vec::new();
+        write_dataset_rows(&mut via_rows, &dataset_rows(&a)).unwrap();
+        assert_eq!(via_rows, direct);
+        // And the canonicalized rows are exactly what a text roundtrip
+        // would have produced.
+        assert_eq!(dataset_rows(&a), read_dataset(direct.as_slice()).unwrap());
+    }
+
+    #[test]
+    fn bin_file_roundtrip_both_modes() {
+        let a = analysis();
+        let world_cfg =
+            WorldConfig { num_blocks: 80, seed: 17, span_days: 4.0, ..Default::default() };
+        let dir = std::env::temp_dir().join(format!("swexport-bin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rows = dataset_rows(&a);
+        for world in [None, Some(&world_cfg)] {
+            let path = dir.join(if world.is_some() { "ds-seed.bin" } else { "ds-self.bin" });
+            write_dataset_bin_file(&path, &a, world).unwrap();
+            assert_eq!(read_dataset_bin_file(&path, world).unwrap(), rows);
+            let _ = std::fs::remove_file(&path);
+        }
+        // Error paths carry the file name.
+        let missing = dir.join("nope.bin");
+        let err = read_dataset_bin_file(&missing, None).unwrap_err();
+        assert!(matches!(err, ExportError::Io { .. }));
+        let garbled = dir.join("garbled.bin");
+        std::fs::write(&garbled, b"not a dataset").unwrap();
+        let err = read_dataset_bin_file(&garbled, None).unwrap_err();
+        assert!(matches!(err, ExportError::Decode { .. }));
+        assert!(err.to_string().contains("garbled.bin"));
+        let _ = std::fs::remove_file(&garbled);
     }
 
     #[test]

@@ -31,7 +31,9 @@
 pub mod aggregate;
 pub mod analyze;
 pub mod applications;
+pub mod binfmt;
 pub mod export;
+pub mod framing;
 pub mod journal;
 pub mod streaming;
 pub mod timeofday;
@@ -43,17 +45,23 @@ pub use analyze::{
     BlockAnalysis, BlockScratch, BlockSummary,
 };
 pub use applications::{correct_snapshot, estimate_size, SizeEstimate};
+pub use binfmt::{
+    decode_dataset, decode_prefix, encode_dataset, BinDataset, BinRow, DatasetMode, DatasetStats,
+    EncodeError,
+};
 pub use export::{
-    read_dataset, read_dataset_file, write_dataset, write_dataset_file, DatasetRow, ExportError,
+    dataset_rows, read_dataset, read_dataset_bin_file, read_dataset_file, write_dataset,
+    write_dataset_bin_file, write_dataset_file, write_dataset_rows, DatasetRow, ExportError,
     ParseError,
 };
-pub use journal::{JournalError, JournalHeader, ReplayStats};
+pub use framing::{DecodeError, IdentityField, RunIdentity};
+pub use journal::{JournalError, JournalHeader, JournalVersion, ReplayStats};
 pub use streaming::{OnlineConfig, OnlineDetector};
 pub use timeofday::{activity_pattern, peak_local_hour, peak_utc_hour, ActivityPattern};
 pub use worldrun::{
     analyze_world, analyze_world_resumable, analyze_world_resumable_with_mode,
     analyze_world_resumable_with_report, analyze_world_source, analyze_world_source_resumable,
     analyze_world_stats, analyze_world_stats_resumable, analyze_world_with_mode,
-    analyze_world_with_report, BlockOutcome, Quarantine, WorldAnalysis, WorldBlockReport,
-    WorldRunMode, WorldRunStats,
+    analyze_world_with_report, run_identity, BlockOutcome, Quarantine, WorldAnalysis,
+    WorldBlockReport, WorldRunMode, WorldRunStats,
 };

@@ -908,6 +908,23 @@ pub fn analyze_world_stats(
     ))
 }
 
+/// The run identity a resumable world run stamps into its journal (and
+/// that seed-joined binary datasets share, with `rounds` zeroed): the
+/// four fields that decide whether two on-disk artifacts came from the
+/// same world and analysis configuration.
+pub fn run_identity(
+    seed: u64,
+    num_blocks: usize,
+    cfg: &AnalysisConfig,
+) -> crate::framing::RunIdentity {
+    crate::framing::RunIdentity {
+        world_seed: seed,
+        num_blocks: num_blocks as u64,
+        rounds: cfg.rounds,
+        start_time: cfg.start_time,
+    }
+}
+
 /// Builds the journal prefill for a resumable run: opens (or validates)
 /// the journal at `path` and returns the writer, the replay skip-mask,
 /// and the replayed reports.
@@ -917,12 +934,7 @@ fn open_journal(
     n: usize,
     cfg: &AnalysisConfig,
 ) -> Result<(JournalWriter, Vec<bool>, Vec<WorldBlockReport>), JournalError> {
-    let header = JournalHeader {
-        world_seed: seed,
-        num_blocks: n as u64,
-        rounds: cfg.rounds,
-        start_time: cfg.start_time,
-    };
+    let header = JournalHeader::from_identity(&run_identity(seed, n, cfg));
     let (writer, replayed, _stats) = journal::open_resume(path, &header)?;
     let mut skip = vec![false; n];
     let mut kept = Vec::with_capacity(replayed.len());

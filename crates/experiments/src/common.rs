@@ -10,6 +10,17 @@ use sleepwatch_simnet::{World, WorldConfig};
 use std::path::PathBuf;
 use std::sync::OnceLock;
 
+/// Output format for the `ext-dataset` artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DatasetFormat {
+    /// TSV only (`results/ext-dataset.csv`), the paper's §2.5 shape.
+    #[default]
+    Tsv,
+    /// TSV plus the compact seed-joined binary container
+    /// (`results/ext-dataset.bin`).
+    Bin,
+}
+
 /// Command-line options shared by all experiments.
 #[derive(Debug, Clone)]
 pub struct Options {
@@ -27,6 +38,8 @@ pub struct Options {
     /// journaling). With a journal, an interrupted world run resumes from
     /// its completed blocks instead of starting over.
     pub journal: Option<PathBuf>,
+    /// Dataset artifact format for `ext-dataset`.
+    pub format: DatasetFormat,
 }
 
 impl Default for Options {
@@ -37,6 +50,7 @@ impl Default for Options {
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             out_dir: Some(PathBuf::from("results")),
             journal: None,
+            format: DatasetFormat::default(),
         }
     }
 }

@@ -322,6 +322,20 @@ pub fn ext_dataset(ctx: &Context) -> ExperimentOutput {
     ExperimentOutput { id: "ext-dataset", report, headline, csv: tsv }
 }
 
+/// Writes the compact binary twin of [`ext_dataset`]'s TSV artifact:
+/// `<dir>/ext-dataset.bin`, seed-joined against the shared world run so
+/// the seed-derivable columns cost nothing on disk. Returns the path
+/// written.
+pub fn write_dataset_bin(
+    ctx: &Context,
+    dir: &std::path::Path,
+) -> Result<std::path::PathBuf, sleepwatch_core::ExportError> {
+    let (world, analysis) = ctx.world_run();
+    let path = dir.join("ext-dataset.bin");
+    sleepwatch_core::write_dataset_bin_file(&path, analysis, Some(&world.cfg))?;
+    Ok(path)
+}
+
 /// Robustness extension: does the daily classifier survive weekly
 /// (weekend) periodicity? Real blocks carry a 7-day component the paper's
 /// strict test must not mistake for — or be masked by — the daily line.

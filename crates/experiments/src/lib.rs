@@ -39,7 +39,7 @@ pub mod samples;
 pub mod validation;
 pub mod worldexp;
 
-pub use common::{Context, ExperimentOutput, Options};
+pub use common::{Context, DatasetFormat, ExperimentOutput, Options};
 
 /// All experiment ids, in run order.
 pub const ALL_IDS: &[&str] = &[

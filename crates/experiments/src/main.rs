@@ -10,17 +10,21 @@
 //!   --out <DIR>     CSV output directory (default: results; `-` disables)
 //!   --journal <DIR> checkpoint the shared world run to DIR and resume
 //!                   from an earlier interrupted run's journal
+//!   --format <F>    dataset artifact format: tsv (default) or bin, which
+//!                   also writes `ext-dataset.bin` (compact seed-joined
+//!                   binary) next to the TSV
 //!   --list          print all experiment ids
 //! ```
 
-use sleepwatch_experiments::{run, Context, Options, ALL_IDS};
+use sleepwatch_experiments::extensions::write_dataset_bin;
+use sleepwatch_experiments::{run, Context, DatasetFormat, Options, ALL_IDS};
 use sleepwatch_obs::{RunReport, Snapshot};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [--seed N] [--scale X] [--threads N] [--out DIR] [--journal DIR] \
-         [--list] <ID|all>..."
+         [--format tsv|bin] [--list] <ID|all>..."
     );
     std::process::exit(2);
 }
@@ -60,6 +64,14 @@ fn main() -> ExitCode {
             "--journal" => {
                 let Some(dir) = args.next() else { bad_flag("--journal", None) };
                 opts.journal = Some(dir.into());
+            }
+            "--format" => {
+                opts.format = match args.next().as_deref() {
+                    Some("tsv") => DatasetFormat::Tsv,
+                    Some("bin") => DatasetFormat::Bin,
+                    Some(v) => bad_flag("--format", Some(v)),
+                    None => bad_flag("--format", None),
+                }
             }
             "--list" => {
                 for id in ALL_IDS {
@@ -102,6 +114,15 @@ fn main() -> ExitCode {
                     {
                         eprintln!("[{}] could not write CSV: {e}", out.id);
                         failed = true;
+                    }
+                    if out.id == "ext-dataset" && ctx.opts.format == DatasetFormat::Bin {
+                        match write_dataset_bin(&ctx, dir) {
+                            Ok(path) => println!("[{}] binary dataset: {}", out.id, path.display()),
+                            Err(e) => {
+                                eprintln!("[{}] could not write binary dataset: {e}", out.id);
+                                failed = true;
+                            }
+                        }
                     }
                     // Observability artifact: the run's metric activity
                     // (snapshot delta) next to its CSV. Shared-world cost

@@ -194,6 +194,26 @@ pub struct ResilienceMetrics {
     pub journal_records_discarded: Counter,
 }
 
+/// Compact binary container counters: the dataset encode/decode paths
+/// of `core::binfmt`.
+pub struct FormatMetrics {
+    /// Binary datasets encoded.
+    pub datasets_encoded: Counter,
+    /// Total container bytes produced by encoding.
+    pub bytes_encoded: Counter,
+    /// Rows encoded into containers.
+    pub records_encoded: Counter,
+    /// Record frames written.
+    pub frames_encoded: Counter,
+    /// Containers parsed and fully validated.
+    pub datasets_decoded: Counter,
+    /// Rows made available by successful parses.
+    pub records_decoded: Counter,
+    /// Parses rejected with a typed decode error (including the damaged
+    /// tail of a prefix decode).
+    pub decode_errors: Counter,
+}
+
 /// The full metric registry, one instance per enabled/disabled state.
 pub struct Registry {
     /// Probing subsystem.
@@ -218,6 +238,8 @@ pub struct Registry {
     pub linktype: LinktypeMetrics,
     /// Crash safety: quarantine and checkpoint journal.
     pub resilience: ResilienceMetrics,
+    /// Compact binary dataset container.
+    pub format: FormatMetrics,
 }
 
 impl Registry {
@@ -310,6 +332,15 @@ impl Registry {
                 journal_records_written: Counter::new(on),
                 journal_records_replayed: Counter::new(on),
                 journal_records_discarded: Counter::new(on),
+            },
+            format: FormatMetrics {
+                datasets_encoded: Counter::new(on),
+                bytes_encoded: Counter::new(on),
+                records_encoded: Counter::new(on),
+                frames_encoded: Counter::new(on),
+                datasets_decoded: Counter::new(on),
+                records_decoded: Counter::new(on),
+                decode_errors: Counter::new(on),
             },
         }
     }

@@ -85,6 +85,14 @@ impl Snapshot {
         c.insert("resilience.journal_records_written", r.journal_records_written.get());
         c.insert("resilience.journal_records_replayed", r.journal_records_replayed.get());
         c.insert("resilience.journal_records_discarded", r.journal_records_discarded.get());
+        let fm = &reg.format;
+        c.insert("format.datasets_encoded", fm.datasets_encoded.get());
+        c.insert("format.bytes_encoded", fm.bytes_encoded.get());
+        c.insert("format.records_encoded", fm.records_encoded.get());
+        c.insert("format.frames_encoded", fm.frames_encoded.get());
+        c.insert("format.datasets_decoded", fm.datasets_decoded.get());
+        c.insert("format.records_decoded", fm.records_decoded.get());
+        c.insert("format.decode_errors", fm.decode_errors.get());
 
         s.histograms.insert("cleaning.fill_fraction", reg.cleaning.fill_fraction.snapshot());
         for stage in Stage::ALL {

@@ -11,7 +11,7 @@
 //! threads.
 
 use sleepwatch_core::analyze_world_resumable;
-use sleepwatch_core::journal::{HEADER_LEN, RECORD_LEN};
+use sleepwatch_core::journal::record_boundaries;
 use sleepwatch_probing::FaultPlan;
 use sleepwatch_testkit::resilience::{
     dataset_tsv, resilience_cfg, resilience_world, scratch_path, RESILIENCE_BLOCKS,
@@ -49,15 +49,17 @@ fn kill_and_resume(name: &str) {
     assert!(reference.quarantined.is_empty(), "{name}: unexpected quarantines");
     let want = dataset_tsv(&reference);
 
-    let len = std::fs::metadata(&journal).expect("journal exists").len() as usize;
+    let bytes = std::fs::read(&journal).expect("read journal");
+    let bounds = record_boundaries(&bytes);
     assert_eq!(
-        len,
-        HEADER_LEN + RESILIENCE_BLOCKS * RECORD_LEN,
+        bounds.len() - 1,
+        RESILIENCE_BLOCKS,
         "{name}: journal should hold one record per block"
     );
+    assert_eq!(*bounds.last().unwrap(), bytes.len(), "{name}: trailing bytes in the journal");
 
     // Crash after a clean fsync: the tail ends exactly on a record boundary.
-    let boundary = HEADER_LEN + (RESILIENCE_BLOCKS / 2) * RECORD_LEN;
+    let boundary = bounds[RESILIENCE_BLOCKS / 2];
     let at_boundary = severed_copy(&journal, &format!("{name}-boundary"), boundary);
     let resumed =
         analyze_world_resumable(&world, &cfg, 1, &at_boundary, None).expect("boundary resume");
@@ -69,7 +71,8 @@ fn kill_and_resume(name: &str) {
     );
 
     // Torn write: the crash landed mid-record and left a damaged suffix.
-    let torn = severed_copy(&journal, &format!("{name}-torn"), boundary + RECORD_LEN / 2);
+    let mid_record = boundary + (bounds[RESILIENCE_BLOCKS / 2 + 1] - boundary) / 2;
+    let torn = severed_copy(&journal, &format!("{name}-torn"), mid_record);
     let resumed = analyze_world_resumable(&world, &cfg, 8, &torn, None).expect("torn resume");
     assert!(resumed.quarantined.is_empty());
     assert_eq!(
@@ -127,7 +130,8 @@ fn bit_flipped_tail_resumes_identically() {
     let want = dataset_tsv(&reference);
 
     let mut bytes = std::fs::read(&journal).expect("read journal");
-    let victim = HEADER_LEN + 100 * RECORD_LEN + 17;
+    // 17 bytes into record 100 — inside every record's fixed prefix.
+    let victim = record_boundaries(&bytes)[100] + 17;
     bytes[victim] ^= 0x40;
     let flipped = scratch_path("flip");
     std::fs::write(&flipped, &bytes).expect("write flipped copy");

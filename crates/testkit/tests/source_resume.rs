@@ -12,7 +12,7 @@
 //! Single test in its own binary: the generation-counter arithmetic needs
 //! a process where no concurrent test is generating blocks.
 
-use sleepwatch_core::journal::{HEADER_LEN, RECORD_LEN};
+use sleepwatch_core::journal::record_boundaries;
 use sleepwatch_core::{analyze_world_stats_resumable, AnalysisConfig};
 use sleepwatch_obs::Snapshot;
 use sleepwatch_simnet::{WorldConfig, WorldSource};
@@ -59,7 +59,9 @@ fn resume_at_paper_scale_never_regenerates_journaled_shards() {
     assert!(d.counter("world.source_chunks") > 0, "lazy chunks must be counted");
 
     // Kill: sever the journal at a record boundary partway through.
-    let severed = severed_copy(&journal, "src-resume-severed", HEADER_LEN + JOURNALED * RECORD_LEN);
+    let bytes = std::fs::read(&journal).expect("read journal");
+    let severed =
+        severed_copy(&journal, "src-resume-severed", record_boundaries(&bytes)[JOURNALED]);
     let before = Snapshot::capture(obs);
     let resumed =
         analyze_world_stats_resumable(&source, &cfg, 4, &severed, None).expect("resumed run");

@@ -2,7 +2,11 @@
 //!
 //! ```text
 //! sleepwatch analyze   [--blocks N] [--days D] [--seed S] [--threads T]
-//!                      [--dataset FILE]      world-scale pipeline summary
+//!                      [--dataset FILE] [--format tsv|bin]
+//!                      world-scale pipeline summary
+//! sleepwatch convert   IN OUT [--format tsv|bin] [--blocks N] [--seed S]
+//!                      convert datasets between TSV and the compact
+//!                      binary container (input format is sniffed)
 //! sleepwatch block     [--diurnal|--flat] [--days D] [--seed S]
 //!                      probe and classify a single /24
 //! sleepwatch countries                     the embedded country table
@@ -13,11 +17,19 @@
 //! (`cargo run -p sleepwatch-experiments -- --list`).
 
 use sleepwatch::core::{
-    analyze_block, analyze_world, estimate_size, write_dataset, AnalysisConfig,
+    analyze_block, analyze_world, decode_dataset, estimate_size, read_dataset, write_dataset,
+    write_dataset_bin_file, write_dataset_rows, AnalysisConfig,
 };
 use sleepwatch::geoecon::country::COUNTRIES;
 use sleepwatch::simnet::{BlockProfile, BlockSpec, World, WorldConfig};
+use std::path::Path;
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Tsv,
+    Bin,
+}
 
 struct Args {
     blocks: usize,
@@ -25,7 +37,9 @@ struct Args {
     seed: u64,
     threads: usize,
     dataset: Option<String>,
+    format: Option<Format>,
     diurnal: bool,
+    positional: Vec<String>,
 }
 
 impl Default for Args {
@@ -36,15 +50,19 @@ impl Default for Args {
             seed: 1,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             dataset: None,
+            format: None,
             diurnal: true,
+            positional: Vec::new(),
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sleepwatch <analyze|block|countries|info> \
-         [--blocks N] [--days D] [--seed S] [--threads T] [--dataset FILE] [--flat]"
+        "usage: sleepwatch <analyze|convert|block|countries|info> \
+         [--blocks N] [--days D] [--seed S] [--threads T] [--dataset FILE] \
+         [--format tsv|bin] [--flat]\n       \
+         sleepwatch convert IN OUT [--format tsv|bin] [--blocks N] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -62,8 +80,16 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Args {
                 a.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
             "--dataset" => a.dataset = Some(it.next().unwrap_or_else(|| usage())),
+            "--format" => {
+                a.format = match it.next().as_deref() {
+                    Some("tsv") => Some(Format::Tsv),
+                    Some("bin") => Some(Format::Bin),
+                    _ => usage(),
+                }
+            }
             "--flat" => a.diurnal = false,
             "--diurnal" => a.diurnal = true,
+            other if !other.starts_with('-') => a.positional.push(arg),
             _ => usage(),
         }
     }
@@ -115,20 +141,98 @@ fn cmd_analyze(a: &Args) -> ExitCode {
     );
 
     if let Some(path) = &a.dataset {
-        match std::fs::File::create(path) {
-            Ok(mut f) => {
-                if let Err(e) = write_dataset(&mut f, &analysis) {
+        match a.format.unwrap_or(Format::Tsv) {
+            Format::Bin => {
+                // Seed-joined: the reader re-derives geolocation and
+                // allocation columns from the same world configuration.
+                if let Err(e) = write_dataset_bin_file(Path::new(path), &analysis, Some(&world.cfg))
+                {
                     eprintln!("could not write dataset: {e}");
                     return ExitCode::FAILURE;
                 }
-                println!("\ndataset written to {path}");
+                println!("\nbinary dataset written to {path} (seed-joined)");
             }
+            Format::Tsv => match std::fs::File::create(path) {
+                Ok(mut f) => {
+                    if let Err(e) = write_dataset(&mut f, &analysis) {
+                        eprintln!("could not write dataset: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("\ndataset written to {path}");
+                }
+                Err(e) => {
+                    eprintln!("could not create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `sleepwatch convert IN OUT`: reads a dataset in either format (the
+/// input is sniffed by magic, not extension) and rewrites it in the
+/// other — or the one forced by `--format`, defaulting to the `OUT`
+/// extension (`.bin` means binary). Binary output from this path is
+/// always self-contained: a converted file must not depend on a world
+/// seed the recipient may not have. Seed-joined *input* needs the
+/// producing world's `--seed`/`--blocks` to re-derive its columns.
+fn cmd_convert(a: &Args) -> ExitCode {
+    let [input, output] = a.positional.as_slice() else { usage() };
+    let bytes = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("could not read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let is_bin = bytes.len() >= 8 && bytes[..8] == *b"SLPWBIN1";
+    let rows = if is_bin {
+        let cfg = WorldConfig {
+            seed: a.seed,
+            num_blocks: a.blocks,
+            span_days: a.days,
+            ..Default::default()
+        };
+        match decode_dataset(&bytes, Some(&cfg)) {
+            Ok(rows) => rows,
             Err(e) => {
-                eprintln!("could not create {path}: {e}");
+                eprintln!("could not decode {input}: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    } else {
+        match read_dataset(&bytes[..]) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("could not parse {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let to = a.format.unwrap_or(if output.ends_with(".bin") { Format::Bin } else { Format::Tsv });
+    let result = match to {
+        Format::Bin => {
+            sleepwatch::core::export::write_dataset_rows_bin_file(Path::new(output), &rows, None)
+                .map_err(|e| e.to_string())
+        }
+        Format::Tsv => std::fs::File::create(output)
+            .and_then(|mut f| write_dataset_rows(&mut f, &rows))
+            .map_err(|e| e.to_string()),
+    };
+    if let Err(e) = result {
+        eprintln!("could not write {output}: {e}");
+        return ExitCode::FAILURE;
     }
+    println!(
+        "{} rows: {input} ({}) -> {output} ({})",
+        rows.len(),
+        if is_bin { "binary" } else { "tsv" },
+        match to {
+            Format::Bin => "binary, self-contained",
+            Format::Tsv => "tsv",
+        }
+    );
     ExitCode::SUCCESS
 }
 
@@ -199,6 +303,7 @@ fn main() -> ExitCode {
     let parsed = parse_args(args);
     match cmd.as_str() {
         "analyze" => cmd_analyze(&parsed),
+        "convert" => cmd_convert(&parsed),
         "block" => cmd_block(&parsed),
         "countries" => cmd_countries(),
         "info" => cmd_info(),

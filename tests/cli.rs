@@ -52,6 +52,73 @@ fn sleepwatch_block_classifies() {
     assert!(text.contains("probes/hour"));
 }
 
+/// `analyze --format bin` writes a seed-joined container, and `convert`
+/// turns it back into exactly the TSV the same analysis would have
+/// written directly — then round-trips that TSV into a self-contained
+/// binary and back, byte-identically.
+#[test]
+fn sleepwatch_convert_round_trips_both_formats() {
+    let dir = std::env::temp_dir().join(format!("swtest-cli-fmt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let world = ["--blocks", "120", "--days", "3", "--seed", "9"];
+
+    let tsv_path = dir.join("direct.tsv");
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd
+        .args(["analyze", "--dataset"])
+        .arg(&tsv_path)
+        .args(world)
+        .output()
+        .expect("spawn analyze tsv");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let want = std::fs::read(&tsv_path).expect("direct tsv");
+
+    let bin_path = dir.join("direct.bin");
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd
+        .args(["analyze", "--format", "bin", "--dataset"])
+        .arg(&bin_path)
+        .args(world)
+        .output()
+        .expect("spawn analyze bin");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let bin_bytes = std::fs::read(&bin_path).expect("binary dataset");
+    assert_eq!(&bin_bytes[..8], b"SLPWBIN1");
+    assert!(bin_bytes.len() < want.len(), "binary should be smaller than TSV");
+
+    // Seed-joined binary -> TSV needs the producing world's parameters.
+    let from_bin = dir.join("from_bin.tsv");
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd
+        .arg("convert")
+        .args([&bin_path, &from_bin])
+        .args(world)
+        .output()
+        .expect("spawn convert bin->tsv");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(want, std::fs::read(&from_bin).expect("converted tsv"));
+
+    // ...and without them the identity check refuses, with a typed error.
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out =
+        cmd.arg("convert").args([&bin_path, &from_bin]).output().expect("spawn convert no-world");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("different run"));
+
+    // TSV -> self-contained binary -> TSV, byte-identical, no world flags.
+    let self_bin = dir.join("roundtrip.bin");
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd.arg("convert").args([&tsv_path, &self_bin]).output().expect("spawn tsv->bin");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let back = dir.join("back.tsv");
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd.arg("convert").args([&self_bin, &back]).output().expect("spawn bin->tsv");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(want, std::fs::read(&back).expect("round-tripped tsv"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn sleepwatch_rejects_unknown_commands() {
     let Some(mut cmd) = bin("sleepwatch") else { return };
@@ -93,6 +160,24 @@ fn experiments_runs_a_figure_and_writes_csv() {
     let csv = std::fs::read_to_string(dir.join("fig1.csv")).expect("csv written");
     assert!(csv.starts_with("round,"));
     assert!(csv.lines().count() > 100);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn experiments_format_bin_writes_both_artifacts() {
+    let dir = std::env::temp_dir().join(format!("swtest-fmt-{}", std::process::id()));
+    let Some(mut cmd) = bin("experiments") else { return };
+    let out = cmd
+        .args(["--scale", "0.02", "--format", "bin", "--out"])
+        .arg(&dir)
+        .arg("ext-dataset")
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let tsv = std::fs::read(dir.join("ext-dataset.csv")).expect("tsv artifact");
+    let bin = std::fs::read(dir.join("ext-dataset.bin")).expect("binary artifact");
+    assert_eq!(&bin[..8], b"SLPWBIN1");
+    assert!(bin.len() < tsv.len());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -4,7 +4,14 @@
 use sleepwatch_experiments::{run, Context, Options, ALL_IDS};
 
 fn tiny_ctx() -> Context {
-    Context::new(Options { seed: 5, scale: 0.01, threads: 2, out_dir: None, journal: None })
+    Context::new(Options {
+        seed: 5,
+        scale: 0.01,
+        threads: 2,
+        out_dir: None,
+        journal: None,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -26,10 +33,49 @@ fn unknown_id_is_rejected() {
     assert!(run("fig99", &ctx).is_none());
 }
 
+/// With `--format bin`, `ext-dataset` grows a binary twin: the seed-joined
+/// container must land next to the TSV and decode back to byte-identical
+/// TSV — the differential oracle, end to end through the harness.
+#[test]
+fn ext_dataset_binary_twin_matches_the_tsv() {
+    use sleepwatch_experiments::extensions::write_dataset_bin;
+    use sleepwatch_experiments::DatasetFormat;
+
+    let dir = std::env::temp_dir().join(format!("swtest-extbin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let ctx = Context::new(Options {
+        seed: 5,
+        scale: 0.01,
+        threads: 2,
+        out_dir: Some(dir.clone()),
+        journal: None,
+        format: DatasetFormat::Bin,
+    });
+    let out = run("ext-dataset", &ctx).expect("ext-dataset runs");
+    let bin_path = write_dataset_bin(&ctx, &dir).expect("binary twin written");
+    assert_eq!(bin_path, dir.join("ext-dataset.bin"));
+
+    let bytes = std::fs::read(&bin_path).expect("binary artifact exists");
+    assert!(bytes.len() < out.csv.len() / 4, "binary twin should be far smaller than the TSV");
+    let (world, _) = ctx.world_run();
+    let rows = sleepwatch::core::decode_dataset(&bytes, Some(&world.cfg)).expect("decodes");
+    let mut tsv = Vec::new();
+    sleepwatch::core::write_dataset_rows(&mut tsv, &rows).expect("serialize");
+    assert_eq!(tsv, out.csv.as_bytes(), "decoded binary diverged from the TSV artifact");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn world_metrics_are_in_range_at_small_scale() {
-    let ctx =
-        Context::new(Options { seed: 9, scale: 0.05, threads: 2, out_dir: None, journal: None });
+    let ctx = Context::new(Options {
+        seed: 9,
+        scale: 0.05,
+        threads: 2,
+        out_dir: None,
+        journal: None,
+        ..Default::default()
+    });
     let out = run("fig10", &ctx).unwrap();
     let strict: f64 = out.metric("strict_frac").unwrap().parse().unwrap();
     assert!((0.02..0.35).contains(&strict), "strict fraction {strict}");
@@ -50,8 +96,14 @@ fn world_metrics_are_in_range_at_small_scale() {
 
 #[test]
 fn gdp_correlation_is_negative() {
-    let ctx =
-        Context::new(Options { seed: 9, scale: 0.05, threads: 2, out_dir: None, journal: None });
+    let ctx = Context::new(Options {
+        seed: 9,
+        scale: 0.05,
+        threads: 2,
+        out_dir: None,
+        journal: None,
+        ..Default::default()
+    });
     let out = run("fig16", &ctx).unwrap();
     let r: f64 = out.metric("r").unwrap().parse().unwrap();
     assert!(r < -0.2, "GDP correlation should be clearly negative, got {r}");

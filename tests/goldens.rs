@@ -6,7 +6,14 @@ use sleepwatch_experiments::{run, Context, ExperimentOutput, Options};
 use sleepwatch_testkit::assert_golden;
 
 fn ctx() -> Context {
-    Context::new(Options { seed: 5, scale: 0.01, threads: 2, out_dir: None, journal: None })
+    Context::new(Options {
+        seed: 5,
+        scale: 0.01,
+        threads: 2,
+        out_dir: None,
+        journal: None,
+        ..Default::default()
+    })
 }
 
 /// Canonical rendering of a full experiment output: report, headline
