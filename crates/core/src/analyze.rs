@@ -214,6 +214,46 @@ pub(crate) fn probe_clean_into(
     ProbedBlock { outages, total_probes, fill_fraction }
 }
 
+/// Stages Estimate → Clean → Fft for observations collected elsewhere —
+/// the streaming ingest path. Byte-for-byte the same code the batch
+/// pipeline runs after probing (the tail of [`probe_clean_into`] plus the
+/// FFT phase of `analyze_block_into`), so a shard finalizing a block's
+/// event stream lands in exactly the scratch state the batch pipeline
+/// reaches before [`classify_probed`].
+pub(crate) fn clean_fft_observations(
+    observations: &[(u64, f64)],
+    cfg: &AnalysisConfig,
+    scratch: &mut BlockScratch,
+) -> f64 {
+    let obs = sleepwatch_obs::global();
+    {
+        let _t = StageTimer::start(obs.pipeline.stage(Stage::Estimate));
+        scratch.observations.clear();
+        scratch.observations.extend_from_slice(observations);
+    }
+    let fill_fraction = {
+        let _t = StageTimer::start(obs.pipeline.stage(Stage::Clean));
+        clean_series_into(
+            &scratch.observations,
+            cfg.rounds as usize,
+            cfg.start_time,
+            ROUND_SECONDS,
+            &mut scratch.clean,
+            &mut scratch.series,
+        )
+    };
+    {
+        let _t = StageTimer::start(obs.pipeline.stage(Stage::Fft));
+        let plan = plan_for(scratch.series.len());
+        scratch.spectrum.compute_with_plan(
+            &scratch.series,
+            sleepwatch_spectral::ROUND_SECONDS,
+            &plan,
+        );
+    }
+    fill_fraction
+}
+
 /// Stage Classify plus summary assembly. Expects `scratch.spectrum` to
 /// hold the spectrum of `scratch.series` — either from the scalar FFT
 /// phase in [`analyze_block_into`] or a lane of the batched world kernel

@@ -34,6 +34,7 @@ pub mod applications;
 pub mod binfmt;
 pub mod export;
 pub mod framing;
+pub mod ingest;
 pub mod journal;
 pub mod streaming;
 pub mod timeofday;
@@ -55,8 +56,12 @@ pub use export::{
     ParseError,
 };
 pub use framing::{DecodeError, IdentityField, RunIdentity};
+pub use ingest::{
+    ingest_direct, ingest_events, ingest_world, ingest_world_resumable, IngestConfig,
+    IngestOutcome, IngestStats,
+};
 pub use journal::{JournalError, JournalHeader, JournalVersion, ReplayStats};
-pub use streaming::{OnlineConfig, OnlineDetector};
+pub use streaming::{DetectorSnapshot, OnlineConfig, OnlineDetector};
 pub use timeofday::{activity_pattern, peak_local_hour, peak_utc_hour, ActivityPattern};
 pub use worldrun::{
     analyze_world, analyze_world_resumable, analyze_world_resumable_with_mode,

@@ -300,7 +300,11 @@ enum RunOutput {
 
 /// Geo/reverse-DNS/registry join for one completed summary — the
 /// world-independent second half of the per-block pipeline.
-fn join_block(geodb: &GeoDatabase, block: &BlockSpec, summary: BlockSummary) -> WorldBlockReport {
+pub(crate) fn join_block(
+    geodb: &GeoDatabase,
+    block: &BlockSpec,
+    summary: BlockSummary,
+) -> WorldBlockReport {
     let country = &COUNTRIES[block.country_idx];
     let location = geodb.locate(block.id, country, block.lon, block.lat);
     // Lookup-or-`None`: an out-of-table country code degrades this one
@@ -343,7 +347,7 @@ fn analyze_one(
     join_block(geodb, block, summary)
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -928,7 +932,7 @@ pub fn run_identity(
 /// Builds the journal prefill for a resumable run: opens (or validates)
 /// the journal at `path` and returns the writer, the replay skip-mask,
 /// and the replayed reports.
-fn open_journal(
+pub(crate) fn open_journal(
     path: &Path,
     seed: u64,
     n: usize,

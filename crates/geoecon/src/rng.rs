@@ -21,6 +21,7 @@ pub fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// Mixes a list of key parts into a single well-distributed 64-bit value.
+#[inline]
 pub fn hash_parts(parts: &[u64]) -> u64 {
     let mut state = 0x243F_6A88_85A3_08D3; // π fractional bits: fixed salt
     let mut acc = 0u64;

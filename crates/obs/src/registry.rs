@@ -214,6 +214,20 @@ pub struct FormatMetrics {
     pub decode_errors: Counter,
 }
 
+/// Streaming ingest: sharded routing, bounded queues, checkpoints.
+pub struct IngestMetrics {
+    /// Round events routed to shard queues.
+    pub rounds_routed: Counter,
+    /// Feeder pushes that blocked on a full shard queue.
+    pub backpressure_stalls: Counter,
+    /// Highest queued-event count observed on any shard queue.
+    pub queue_high_water: Gauge,
+    /// Journal sync points reached (durable checkpoints).
+    pub checkpoints: Counter,
+    /// Blocks whose stream completed and was finalized.
+    pub blocks_finished: Counter,
+}
+
 /// The full metric registry, one instance per enabled/disabled state.
 pub struct Registry {
     /// Probing subsystem.
@@ -240,6 +254,8 @@ pub struct Registry {
     pub resilience: ResilienceMetrics,
     /// Compact binary dataset container.
     pub format: FormatMetrics,
+    /// Streaming ingest engine.
+    pub ingest: IngestMetrics,
 }
 
 impl Registry {
@@ -341,6 +357,13 @@ impl Registry {
                 datasets_decoded: Counter::new(on),
                 records_decoded: Counter::new(on),
                 decode_errors: Counter::new(on),
+            },
+            ingest: IngestMetrics {
+                rounds_routed: Counter::new(on),
+                backpressure_stalls: Counter::new(on),
+                queue_high_water: Gauge::new(on),
+                checkpoints: Counter::new(on),
+                blocks_finished: Counter::new(on),
             },
         }
     }

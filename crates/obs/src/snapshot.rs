@@ -93,6 +93,12 @@ impl Snapshot {
         c.insert("format.datasets_decoded", fm.datasets_decoded.get());
         c.insert("format.records_decoded", fm.records_decoded.get());
         c.insert("format.decode_errors", fm.decode_errors.get());
+        let ing = &reg.ingest;
+        c.insert("ingest.rounds_routed", ing.rounds_routed.get());
+        c.insert("ingest.backpressure_stalls", ing.backpressure_stalls.get());
+        c.insert("ingest.queue_high_water", ing.queue_high_water.get());
+        c.insert("ingest.checkpoints", ing.checkpoints.get());
+        c.insert("ingest.blocks_finished", ing.blocks_finished.get());
 
         s.histograms.insert("cleaning.fill_fraction", reg.cleaning.fill_fraction.snapshot());
         for stage in Stage::ALL {
@@ -132,7 +138,10 @@ impl Snapshot {
         for (&k, &v) in &self.counters {
             let base = if matches!(
                 k,
-                "world.max_world_blocks" | "world.peak_block_bytes" | "world.blocks_per_sec"
+                "world.max_world_blocks"
+                    | "world.peak_block_bytes"
+                    | "world.blocks_per_sec"
+                    | "ingest.queue_high_water"
             ) {
                 0 // gauges: keep the high-water mark, not a difference
             } else {

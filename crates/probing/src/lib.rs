@@ -36,6 +36,7 @@ pub mod census;
 pub mod faults;
 pub mod multisite;
 pub mod record;
+pub mod stream;
 pub mod survey;
 pub mod trinocular;
 
@@ -43,6 +44,7 @@ pub use census::{run_census, CensusConfig, CensusRecord};
 pub use faults::{Blackout, EChurn, FaultPlan, LossBurst, RestartStorm};
 pub use multisite::{agreement, merge_states, merged_outages, MergedOutage, MergedState};
 pub use record::{BlockRun, RoundRecord};
+pub use stream::{interleave, record_events, replay_run, RoundEvent};
 pub use survey::{survey_block, survey_block_with_faults, SurveyResult};
 pub use trinocular::{
     BlockState, OutageEvent, ProberScratch, TrinocularConfig, TrinocularProber, VantageRetryConfig,

@@ -9,6 +9,10 @@
 //!                      binary container (input format is sniffed)
 //! sleepwatch block     [--diurnal|--flat] [--days D] [--seed S]
 //!                      probe and classify a single /24
+//! sleepwatch ingest    [--blocks N] [--days D] [--seed S] [--shards K]
+//!                      [--journal FILE]
+//!                      stream a world through the sharded live-ingest
+//!                      engine (checkpointing to FILE when given)
 //! sleepwatch countries                     the embedded country table
 //! sleepwatch info                          versions and configuration
 //! ```
@@ -17,11 +21,12 @@
 //! (`cargo run -p sleepwatch-experiments -- --list`).
 
 use sleepwatch::core::{
-    analyze_block, analyze_world, decode_dataset, estimate_size, read_dataset, write_dataset,
-    write_dataset_bin_file, write_dataset_rows, AnalysisConfig,
+    analyze_block, analyze_world, decode_dataset, estimate_size, ingest_world,
+    ingest_world_resumable, read_dataset, write_dataset, write_dataset_bin_file,
+    write_dataset_rows, AnalysisConfig, IngestConfig,
 };
 use sleepwatch::geoecon::country::COUNTRIES;
-use sleepwatch::simnet::{BlockProfile, BlockSpec, World, WorldConfig};
+use sleepwatch::simnet::{BlockProfile, BlockSpec, World, WorldConfig, WorldSource};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -36,7 +41,9 @@ struct Args {
     days: f64,
     seed: u64,
     threads: usize,
+    shards: usize,
     dataset: Option<String>,
+    journal: Option<String>,
     format: Option<Format>,
     diurnal: bool,
     positional: Vec<String>,
@@ -49,7 +56,9 @@ impl Default for Args {
             days: 14.0,
             seed: 1,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            shards: 4,
             dataset: None,
+            journal: None,
             format: None,
             diurnal: true,
             positional: Vec::new(),
@@ -59,10 +68,11 @@ impl Default for Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sleepwatch <analyze|convert|block|countries|info> \
+        "usage: sleepwatch <analyze|convert|block|ingest|countries|info> \
          [--blocks N] [--days D] [--seed S] [--threads T] [--dataset FILE] \
          [--format tsv|bin] [--flat]\n       \
-         sleepwatch convert IN OUT [--format tsv|bin] [--blocks N] [--seed S]"
+         sleepwatch convert IN OUT [--format tsv|bin] [--blocks N] [--seed S]\n       \
+         sleepwatch ingest [--blocks N] [--days D] [--seed S] [--shards K] [--journal FILE]"
     );
     std::process::exit(2);
 }
@@ -80,6 +90,10 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Args {
                 a.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
             "--dataset" => a.dataset = Some(it.next().unwrap_or_else(|| usage())),
+            "--journal" => a.journal = Some(it.next().unwrap_or_else(|| usage())),
+            "--shards" => {
+                a.shards = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
             "--format" => {
                 a.format = match it.next().as_deref() {
                     Some("tsv") => Some(Format::Tsv),
@@ -271,6 +285,62 @@ fn cmd_block(a: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `sleepwatch ingest`: streams a synthetic world through the sharded
+/// live-ingest engine — probe rounds arrive interleaved, are routed
+/// `hash(block) → shard` over bounded queues, and every finished block's
+/// verdict is identical to what `sleepwatch analyze` computes in batch.
+fn cmd_ingest(a: &Args) -> ExitCode {
+    let source = WorldSource::new(WorldConfig {
+        seed: a.seed,
+        num_blocks: a.blocks,
+        span_days: a.days,
+        ..Default::default()
+    });
+    let cfg = AnalysisConfig::over_days(source.cfg().start_time, a.days);
+    let icfg = IngestConfig { shards: a.shards.max(1), ..Default::default() };
+    eprintln!("ingesting {} blocks over {} days across {} shards…", a.blocks, a.days, icfg.shards);
+    let started = std::time::Instant::now();
+    let out = match &a.journal {
+        Some(path) => match ingest_world_resumable(&source, &cfg, &icfg, Path::new(path)) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("could not open journal {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => ingest_world(&source, &cfg, &icfg),
+    };
+    let secs = started.elapsed().as_secs_f64();
+    let s = &out.stats;
+    let strict = out.reports.iter().filter(|r| r.summary.class.is_strict()).count();
+    println!("blocks finalized    : {}", s.blocks);
+    if s.replayed > 0 {
+        println!("  from journal      : {}", s.replayed);
+    }
+    if s.quarantined > 0 {
+        println!("  quarantined       : {}", s.quarantined);
+    }
+    println!(
+        "strictly diurnal    : {strict} ({:.1}%)",
+        100.0 * strict as f64 / s.blocks.max(1) as f64
+    );
+    println!("live strict (stream): {}", s.live_strict);
+    println!("rounds routed       : {}", s.rounds_routed);
+    println!("queue high water    : {} events", s.queue_high_water);
+    println!("backpressure stalls : {}", s.backpressure_stalls);
+    if a.journal.is_some() {
+        println!("checkpoints         : {}", s.checkpoints);
+    }
+    if secs > 0.0 {
+        println!(
+            "throughput          : {:.0} rounds/s ({:.0} rounds/s/shard)",
+            s.rounds_routed as f64 / secs,
+            s.rounds_routed as f64 / secs / icfg.shards as f64
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_countries() -> ExitCode {
     println!("{:<5}{:<24}{:>10}{:>10}{:>8}  region", "code", "name", "GDP", "kWh/cap", "blocks");
     for c in COUNTRIES {
@@ -305,6 +375,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&parsed),
         "convert" => cmd_convert(&parsed),
         "block" => cmd_block(&parsed),
+        "ingest" => cmd_ingest(&parsed),
         "countries" => cmd_countries(),
         "info" => cmd_info(),
         "--help" | "-h" | "help" => usage(),
