@@ -40,6 +40,8 @@ use sleepwatch_probing::stream::{interleave, record_events, RoundEvent};
 use sleepwatch_probing::TrinocularProber;
 use sleepwatch_simnet::{shard_of, WorldSource};
 
+use crate::framing::RunIdentity;
+
 use crate::analyze::{
     classify_probed, clean_fft_observations, AnalysisConfig, BlockScratch, ProbedBlock,
 };
@@ -115,6 +117,10 @@ pub struct IngestOutcome {
     pub reports: Vec<WorldBlockReport>,
     /// Blocks quarantined by a panic, in block order.
     pub quarantined: Vec<Quarantine>,
+    /// Blocks whose stream was still open when the feed ended (rounds
+    /// seen, no `Finish`): empty for a complete feed, the degraded set
+    /// when a transport died past its budget.
+    pub open_blocks: Vec<u64>,
     /// Run counters.
     pub stats: IngestStats,
 }
@@ -391,6 +397,7 @@ struct Sink {
     rounds: u64,
     live_strict: u64,
     live_classifications: u64,
+    open_lanes: Vec<u64>,
 }
 
 impl Sink {
@@ -439,6 +446,7 @@ fn run_engine(
         rounds: 0,
         live_strict: 0,
         live_classifications: 0,
+        open_lanes: Vec::new(),
     });
 
     let mut rounds_routed = 0u64;
@@ -466,6 +474,7 @@ fn run_engine(
                 sink.rounds += state.rounds;
                 sink.live_strict += state.live_strict;
                 sink.live_classifications += state.live_classifications;
+                sink.open_lanes.extend(state.lanes.keys().copied());
             });
         }
         let mut router = Router::new(&queues, &pool, icfg.batch_events);
@@ -485,6 +494,7 @@ fn run_engine(
     }
     sink.reports.sort_by_key(|r| r.summary.block_id);
     sink.quarantined.sort_by_key(|q| q.block_id);
+    sink.open_lanes.sort_unstable();
 
     let (high_water, stalls) = queues
         .iter()
@@ -508,17 +518,23 @@ fn run_engine(
     obs.checkpoints.add(stats.checkpoints);
     obs.blocks_finished.add((stats.blocks - stats.replayed) as u64);
     debug_assert_eq!(stats.rounds_routed, sink.rounds, "routed and consumed rounds disagree");
-    IngestOutcome { reports: sink.reports, quarantined: sink.quarantined, stats }
+    IngestOutcome {
+        reports: sink.reports,
+        quarantined: sink.quarantined,
+        open_blocks: sink.open_lanes,
+        stats,
+    }
 }
 
-/// Probes the blocks in `ids` and routes their streams chunk-interleaved:
-/// the feeder half of [`ingest_world`].
-fn feed_world(
+/// Probes the blocks in `ids` and emits their streams chunk-interleaved:
+/// the feeder half of [`ingest_world`], generic over where the events
+/// go (a [`Router`], or a buffer bound for a wire).
+fn feed_world_into(
     source: &WorldSource,
     cfg: &AnalysisConfig,
     icfg: &IngestConfig,
     ids: &[u64],
-    router: &mut Router,
+    emit: &mut impl FnMut(RoundEvent),
     quarantined_at_feed: &mut Vec<Quarantine>,
 ) {
     let mut specs = Vec::new();
@@ -547,9 +563,45 @@ fn feed_world(
         // different across chunks, adversarial to any order assumption.
         let seed = icfg.interleave_seed.wrapping_add(chunk_idx as u64);
         for ev in interleave(streams, seed) {
-            router.route(ev);
+            emit(ev);
         }
     }
+}
+
+/// Probes the blocks in `ids` and routes their streams chunk-interleaved:
+/// the feeder half of [`ingest_world`].
+fn feed_world(
+    source: &WorldSource,
+    cfg: &AnalysisConfig,
+    icfg: &IngestConfig,
+    ids: &[u64],
+    router: &mut Router,
+    quarantined_at_feed: &mut Vec<Quarantine>,
+) {
+    feed_world_into(source, cfg, icfg, ids, &mut |ev| router.route(ev), quarantined_at_feed);
+}
+
+/// Materializes the event feed [`ingest_world`] would route — probes
+/// every block and chunk-interleaves the streams with
+/// `icfg.interleave_seed` — for replay over a transport (`sleepwatch
+/// feed`, the chaos oracle, the throughput bench). Returns the feed and
+/// any blocks quarantined by probing panics.
+pub fn world_feed(
+    source: &WorldSource,
+    cfg: &AnalysisConfig,
+    icfg: &IngestConfig,
+) -> (Vec<RoundEvent>, Vec<Quarantine>) {
+    let ids: Vec<u64> = (0..source.len() as u64).collect();
+    let mut feed = Vec::new();
+    let mut quarantined = Vec::new();
+    feed_world_into(source, cfg, icfg, &ids, &mut |ev| feed.push(ev), &mut quarantined);
+    (feed, quarantined)
+}
+
+/// The run identity a transport session carries for this source and
+/// config — what both feed ends must agree on before events move.
+pub fn feed_identity(source: &WorldSource, cfg: &AnalysisConfig) -> RunIdentity {
+    crate::worldrun::run_identity(source.cfg().seed, source.len(), cfg)
 }
 
 /// Streams a whole world through the engine: probes every block (faults
@@ -643,7 +695,97 @@ pub fn ingest_direct(
         live_strict: state.live_strict,
         live_classifications: state.live_classifications,
     };
-    IngestOutcome { reports, quarantined, stats }
+    let mut open_blocks: Vec<u64> = state.lanes.keys().copied().collect();
+    open_blocks.sort_unstable();
+    IngestOutcome { reports, quarantined, open_blocks, stats }
+}
+
+/// What a transport-fed ingest produced: the engine outcome plus the
+/// wire's accounting and — when the feed died — the graceful-degradation
+/// report.
+#[derive(Debug)]
+pub struct TransportOutcome {
+    /// The engine outcome. Blocks whose `Finish` arrived are finalized
+    /// normally (batch-identical); `outcome.open_blocks` lists the
+    /// degraded remainder.
+    pub outcome: IngestOutcome,
+    /// Transport-side counters (frames, reconnects, corruption,
+    /// backoff).
+    pub transport: sleepwatch_probing::transport::TransportStats,
+    /// The terminal transport error, when the feed ended on one instead
+    /// of a clean end-of-stream. Completed work is kept either way —
+    /// mirroring `VantageRetryConfig`'s explicit-degradation semantics,
+    /// the caller gets everything that finished plus a typed cause for
+    /// what did not.
+    pub error: Option<sleepwatch_probing::transport::TransportError>,
+}
+
+impl TransportOutcome {
+    /// True when the stream ended cleanly with nothing left open.
+    pub fn complete(&self) -> bool {
+        self.error.is_none() && self.transport.clean_end && self.outcome.open_blocks.is_empty()
+    }
+}
+
+/// Ingests a feed arriving through any [`EventSource`] — the wire-fed
+/// sibling of [`ingest_events`].
+///
+/// A terminal transport error (budget exhaustion, strict-mode corruption)
+/// does not discard completed work: every block whose stream finished is
+/// finalized batch-identically, the rest are reported in
+/// `outcome.open_blocks`, and the error rides along typed.
+pub fn ingest_source(
+    source: &WorldSource,
+    cfg: &AnalysisConfig,
+    icfg: &IngestConfig,
+    events: &mut dyn sleepwatch_probing::transport::EventSource,
+) -> TransportOutcome {
+    let mut error = None;
+    let outcome = run_engine(source, cfg, icfg, None, Vec::new(), |router| loop {
+        match events.next_event() {
+            Ok(Some(ev)) => router.route(ev),
+            Ok(None) => break,
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        }
+    });
+    TransportOutcome { outcome, transport: events.stats(), error }
+}
+
+/// [`ingest_source`] with the crash-safe checkpoint journal: blocks
+/// already journaled at `path` are replayed from disk and their wire
+/// events dropped on arrival — the client reprocesses nothing it has
+/// durable verdicts for, so a kill on either end of the transport heals
+/// (the peer re-serves, the resume handshake skips re-sent bytes, and
+/// the journal skips re-analysis).
+pub fn ingest_source_resumable(
+    source: &WorldSource,
+    cfg: &AnalysisConfig,
+    icfg: &IngestConfig,
+    events: &mut dyn sleepwatch_probing::transport::EventSource,
+    path: &Path,
+) -> Result<TransportOutcome, JournalError> {
+    let n = source.len();
+    let (writer, skip, kept) = open_journal(path, source.cfg().seed, n, cfg)?;
+    let mut error = None;
+    let outcome = run_engine(source, cfg, icfg, Some(writer), kept, |router| loop {
+        match events.next_event() {
+            Ok(Some(ev)) => {
+                let id = ev.block_id() as usize;
+                if id >= skip.len() || !skip[id] {
+                    router.route(ev);
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        }
+    });
+    Ok(TransportOutcome { outcome, transport: events.stats(), error })
 }
 
 /// Feed-time quarantines (probing panics) join the shard-side ones in

@@ -33,7 +33,17 @@ pub mod analyze;
 pub mod applications;
 pub mod binfmt;
 pub mod export;
-pub mod framing;
+pub mod framing {
+    //! Shared binary-framing primitives (re-export of
+    //! [`sleepwatch_framing`]).
+    //!
+    //! The toolbox historically lived here; it moved to its own
+    //! bottom-of-stack crate so the probing-layer wire transport can
+    //! share the same prelude and [`DecodeError`] taxonomy without a
+    //! dependency cycle. Every pre-existing `sleepwatch_core::framing`
+    //! path keeps working through this re-export.
+    pub use sleepwatch_framing::*;
+}
 pub mod ingest;
 pub mod journal;
 pub mod streaming;
@@ -57,8 +67,9 @@ pub use export::{
 };
 pub use framing::{DecodeError, IdentityField, RunIdentity};
 pub use ingest::{
-    ingest_direct, ingest_events, ingest_world, ingest_world_resumable, IngestConfig,
-    IngestOutcome, IngestStats,
+    feed_identity, ingest_direct, ingest_events, ingest_source, ingest_source_resumable,
+    ingest_world, ingest_world_resumable, world_feed, IngestConfig, IngestOutcome, IngestStats,
+    TransportOutcome,
 };
 pub use journal::{JournalError, JournalHeader, JournalVersion, ReplayStats};
 pub use streaming::{DetectorSnapshot, OnlineConfig, OnlineDetector};

@@ -1,8 +1,10 @@
-//! Shared binary-framing primitives for the on-disk formats.
+//! Shared binary-framing primitives for the on-disk and wire formats.
 //!
-//! Both persistent formats this crate writes — the checkpoint journal
-//! ([`crate::journal`]) and the compact dataset container
-//! ([`crate::binfmt`]) — are built from the same small toolbox:
+//! Every versioned byte format in the workspace — the checkpoint
+//! journal (`sleepwatch_core::journal`), the compact dataset container
+//! (`sleepwatch_core::binfmt`), and the `SLPWFEED` wire transport
+//! (`sleepwatch_probing::transport`) — is built from the same small
+//! toolbox:
 //!
 //! * the CRC32 (IEEE 802.3) used to close every frame, incremental so a
 //!   frame checksum can be chained to the file it belongs to;
@@ -17,6 +19,13 @@
 //! Decoding here is *total*: every reader returns a typed error (or
 //! `None` at the bit level) on any malformed input, never panics, and
 //! never reads past the supplied slice.
+//!
+//! This crate sits at the bottom of the dependency stack (std only) so
+//! the probing-layer transport and the core-layer persistence formats
+//! can share one prelude and one error taxonomy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt;
 

@@ -228,6 +228,20 @@ pub struct IngestMetrics {
     pub blocks_finished: Counter,
 }
 
+/// Wire transport: the `SLPWFEED` sources feeding streaming ingest.
+pub struct TransportMetrics {
+    /// Frames accepted (events, heartbeats, end markers).
+    pub frames: Counter,
+    /// Connections re-established after the first.
+    pub reconnects: Counter,
+    /// Damaged frames detected and skipped (or refused in strict mode).
+    pub skipped_corrupt: Counter,
+    /// Total reconnect backoff slept, in milliseconds.
+    pub backoff_ms: Counter,
+    /// Read timeouts while waiting for the peer.
+    pub heartbeats_missed: Counter,
+}
+
 /// The full metric registry, one instance per enabled/disabled state.
 pub struct Registry {
     /// Probing subsystem.
@@ -256,6 +270,8 @@ pub struct Registry {
     pub format: FormatMetrics,
     /// Streaming ingest engine.
     pub ingest: IngestMetrics,
+    /// Wire transport sources.
+    pub transport: TransportMetrics,
 }
 
 impl Registry {
@@ -364,6 +380,13 @@ impl Registry {
                 queue_high_water: Gauge::new(on),
                 checkpoints: Counter::new(on),
                 blocks_finished: Counter::new(on),
+            },
+            transport: TransportMetrics {
+                frames: Counter::new(on),
+                reconnects: Counter::new(on),
+                skipped_corrupt: Counter::new(on),
+                backoff_ms: Counter::new(on),
+                heartbeats_missed: Counter::new(on),
             },
         }
     }

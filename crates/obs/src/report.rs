@@ -148,16 +148,30 @@ fn json_str(s: &str) -> String {
 /// A rate-limited progress printer for long loops.
 ///
 /// Threads call [`Reporter::report`] as often as they like; at most one
-/// line per interval reaches stderr, plus exactly one final line when
+/// line per interval reaches the sink, plus exactly one final line when
 /// `done == total`. Safe to share across worker threads (the interval
 /// gate is a CAS, so racing reporters print once).
+///
+/// All output funnels through a single mutex-guarded writer (stderr by
+/// default), so progress lines, [`Reporter::warn`] lines from transport
+/// reconnect storms, and the final summary never interleave mid-burst.
+/// Warnings are coalesced: the first in an interval prints, later ones
+/// are counted and accounted for in the next printed warning or the
+/// final line.
 pub struct Reporter {
     label: String,
     every_micros: u64,
     start: Instant,
     /// Micros-since-start of the last printed line, +1 (0 = never).
     last_print: AtomicU64,
+    /// Micros-since-start of the last printed warning, +1 (0 = never).
+    last_warn: AtomicU64,
+    /// Warnings swallowed by the interval gate since the last printed one.
+    warns_suppressed: AtomicU64,
+    /// Every warning ever offered, printed or not.
+    warns_total: AtomicU64,
     finished: AtomicBool,
+    sink: std::sync::Mutex<Box<dyn std::io::Write + Send>>,
 }
 
 impl Reporter {
@@ -168,23 +182,53 @@ impl Reporter {
 
     /// Creates a reporter with a custom print interval.
     pub fn with_interval(label: impl Into<String>, every: Duration) -> Self {
+        Reporter::with_sink(label, every, Box::new(std::io::stderr()))
+    }
+
+    /// Creates a reporter writing to an explicit sink instead of stderr —
+    /// tests pin line atomicity and warning coalescing through this.
+    pub fn with_sink(
+        label: impl Into<String>,
+        every: Duration,
+        sink: Box<dyn std::io::Write + Send>,
+    ) -> Self {
         Reporter {
             label: label.into(),
             every_micros: every.as_micros() as u64,
             start: Instant::now(),
             last_print: AtomicU64::new(0),
+            last_warn: AtomicU64::new(0),
+            warns_suppressed: AtomicU64::new(0),
+            warns_total: AtomicU64::new(0),
             finished: AtomicBool::new(false),
+            sink: std::sync::Mutex::new(sink),
         }
+    }
+
+    /// Writes whole lines under one lock acquisition, so a multi-line
+    /// burst cannot interleave with a concurrent reporter call.
+    fn emit(&self, lines: &[String]) {
+        let mut w = self.sink.lock().expect("reporter sink poisoned");
+        for line in lines {
+            let _ = writeln!(w, "{line}");
+        }
+        let _ = w.flush();
     }
 
     /// Reports progress `done` out of `total`. Prints when the interval
     /// has elapsed since the last line, and always (exactly once) when
-    /// the run completes.
+    /// the run completes. The final line accounts for any warnings still
+    /// coalesced at that point.
     pub fn report(&self, done: usize, total: usize) {
         if done >= total {
             if !self.finished.swap(true, Relaxed) {
                 let secs = self.start.elapsed().as_secs_f64();
-                eprintln!("{}: {done}/{total} done in {secs:.1}s", self.label);
+                let mut lines = vec![format!("{}: {done}/{total} done in {secs:.1}s", self.label)];
+                let pending = self.warns_suppressed.swap(0, Relaxed);
+                if pending > 0 {
+                    lines.push(format!("{}: {pending} warnings coalesced", self.label));
+                }
+                self.emit(&lines);
             }
             return;
         }
@@ -195,13 +239,43 @@ impl Reporter {
         }
         if self.last_print.compare_exchange(last, now, Relaxed, Relaxed).is_ok() {
             let pct = if total > 0 { done as f64 * 100.0 / total as f64 } else { 0.0 };
-            eprintln!("{}: {done}/{total} ({pct:.1}%)", self.label);
+            self.emit(&[format!("{}: {done}/{total} ({pct:.1}%)", self.label)]);
         }
     }
 
     /// Prints a one-off annotation line immediately (not rate-limited).
     pub fn note(&self, msg: &str) {
-        eprintln!("{}: {msg}", self.label);
+        self.emit(&[format!("{}: {msg}", self.label)]);
+    }
+
+    /// Reports a warning (e.g. a transport reconnect). The first warning
+    /// in an interval prints immediately; a storm of follow-ups inside
+    /// the interval is coalesced into a count carried by the next printed
+    /// warning (`… (+N coalesced)`) or the final progress line.
+    pub fn warn(&self, msg: &str) {
+        self.warns_total.fetch_add(1, Relaxed);
+        let now = self.start.elapsed().as_micros() as u64 + 1;
+        let last = self.last_warn.load(Relaxed);
+        if last != 0 && now.saturating_sub(last) < self.every_micros {
+            self.warns_suppressed.fetch_add(1, Relaxed);
+            return;
+        }
+        if self.last_warn.compare_exchange(last, now, Relaxed, Relaxed).is_ok() {
+            let pending = self.warns_suppressed.swap(0, Relaxed);
+            let line = if pending > 0 {
+                format!("{}: warning: {msg} (+{pending} coalesced)", self.label)
+            } else {
+                format!("{}: warning: {msg}", self.label)
+            };
+            self.emit(&[line]);
+        } else {
+            self.warns_suppressed.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Every warning offered so far, printed or coalesced.
+    pub fn warnings(&self) -> u64 {
+        self.warns_total.load(Relaxed)
     }
 
     /// True once the final `done == total` line has been printed.
@@ -278,5 +352,82 @@ mod tests {
         let r = Reporter::new("empty");
         r.report(0, 0);
         assert!(r.finished());
+    }
+
+    /// Shared buffer sink that appends whatever the reporter writes.
+    #[derive(Clone, Default)]
+    struct BufSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl std::io::Write for BufSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Pins the reconnect-storm contract: under concurrent progress and
+    /// warning traffic every emitted line is whole (single writer, no
+    /// interleaving), the warning storm collapses to one printed line,
+    /// and every suppressed warning is accounted for by the time the
+    /// final line lands.
+    #[test]
+    fn reporter_storm_is_coalesced_behind_one_writer() {
+        let sink = BufSink::default();
+        let r = std::sync::Arc::new(Reporter::with_sink(
+            "ingest",
+            Duration::from_secs(3600),
+            Box::new(sink.clone()),
+        ));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        r.report(t * 200 + i, 1_000_000);
+                        r.warn("reconnect: backing off");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.warnings(), 800);
+        r.report(1_000_000, 1_000_000);
+
+        let bytes = sink.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).expect("reporter wrote valid utf-8");
+        assert!(text.ends_with('\n'), "unterminated tail: {text:?}");
+        let lines: Vec<&str> = text.lines().collect();
+        for line in &lines {
+            assert!(line.starts_with("ingest: "), "torn or foreign line: {line:?}");
+        }
+        let warn_lines = lines.iter().filter(|l| l.contains("warning:")).count();
+        assert_eq!(warn_lines, 1, "storm was not coalesced:\n{text}");
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("done in")).count(),
+            1,
+            "final line must print exactly once"
+        );
+        // 800 warnings offered: 1 printed, every other one accounted for
+        // either on the printed warning ("+K coalesced") or the final
+        // accounting line — none lost.
+        let on_warn_line = lines
+            .iter()
+            .find_map(|l| {
+                let (_, tail) = l.split_once("(+")?;
+                tail.strip_suffix(" coalesced)")?.parse::<u64>().ok()
+            })
+            .unwrap_or(0);
+        let on_final = lines
+            .iter()
+            .find_map(|l| {
+                l.strip_prefix("ingest: ")?.strip_suffix(" warnings coalesced")?.parse::<u64>().ok()
+            })
+            .unwrap_or(0);
+        assert_eq!(1 + on_warn_line + on_final, 800, "lost warnings:\n{text}");
     }
 }

@@ -99,6 +99,12 @@ impl Snapshot {
         c.insert("ingest.queue_high_water", ing.queue_high_water.get());
         c.insert("ingest.checkpoints", ing.checkpoints.get());
         c.insert("ingest.blocks_finished", ing.blocks_finished.get());
+        let tr = &reg.transport;
+        c.insert("transport.frames", tr.frames.get());
+        c.insert("transport.reconnects", tr.reconnects.get());
+        c.insert("transport.skipped_corrupt", tr.skipped_corrupt.get());
+        c.insert("transport.backoff_ms", tr.backoff_ms.get());
+        c.insert("transport.heartbeats_missed", tr.heartbeats_missed.get());
 
         s.histograms.insert("cleaning.fill_fraction", reg.cleaning.fill_fraction.snapshot());
         for stage in Stage::ALL {

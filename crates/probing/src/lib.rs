@@ -38,6 +38,7 @@ pub mod multisite;
 pub mod record;
 pub mod stream;
 pub mod survey;
+pub mod transport;
 pub mod trinocular;
 
 pub use census::{run_census, CensusConfig, CensusRecord};

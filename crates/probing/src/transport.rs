@@ -1,0 +1,1398 @@
+//! `SLPWFEED`: the fault-tolerant wire transport for [`RoundEvent`]
+//! streams.
+//!
+//! The streaming engine (`sleepwatch_core::ingest`) consumes an event
+//! feed; this module puts that feed on a wire that can be cut, corrupted
+//! and slowed at any byte. The format reuses the workspace-wide framing
+//! toolbox ([`sleepwatch_framing`]):
+//!
+//! * **Handshake.** The sender opens with the shared 64-byte
+//!   [`Prelude`] (magic `SLPWFEED`, version, run identity, total event
+//!   count). The receiver answers with the same prelude shape carrying
+//!   the sequence number it wants to resume from. Both sides validate
+//!   the other's identity, so a feed from a foreign run is refused with
+//!   a typed [`DecodeError::IdentityMismatch`] before any event moves.
+//! * **Frames.** Everything after the handshake is length-prefixed
+//!   frames — events (sequence-numbered), heartbeats, and a terminal
+//!   end-of-stream marker — each closed by a CRC32 chained to the
+//!   handshake's header CRC so frames cannot be spliced between
+//!   sessions. Decoding is total: damage is detected, never trusted.
+//! * **Robustness.** The TCP client retries with seed-keyed jittered
+//!   exponential backoff, resumes from its last applied sequence after
+//!   every reconnect (nothing is lost, duplicates are dropped), treats
+//!   any frame damage as a poisoned connection, counts and skips
+//!   corruption in lenient mode (refuses in `strict`), and bounds
+//!   in-flight memory to one frame — when the consumer stalls the
+//!   client stops reading and TCP flow control pushes back on the
+//!   sender.
+//!
+//! Both sources implement [`EventSource`], the one trait the ingest
+//! feeder needs; the chaos oracle in `sleepwatch-testkit` proves that
+//! verdicts ingested through this wire under severs, flips, stalls,
+//! duplicated and reordered frames are Debug-identical to batch
+//! analysis.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use sleepwatch_framing::{check_identity, Crc32, DecodeError, Prelude, RunIdentity, PRELUDE_LEN};
+use sleepwatch_geoecon::rng::hash_parts;
+
+use crate::stream::RoundEvent;
+
+// ---------------------------------------------------------------------------
+// Wire constants
+// ---------------------------------------------------------------------------
+
+/// Feed magic: `SLPWFEED` as a little-endian u64.
+pub const FEED_MAGIC: u64 = u64::from_le_bytes(*b"SLPWFEED");
+/// Wire format version this build speaks.
+pub const FEED_VERSION: u16 = 1;
+/// Prelude `kind` byte for transport handshakes.
+pub const FEED_KIND: u8 = b'T';
+/// Prelude `mode`: sender's opening hello (`record_count` = total events).
+pub const MODE_HELLO: u8 = 0;
+/// Prelude `mode`: receiver's resume answer (`record_count` = resume-from
+/// sequence).
+pub const MODE_RESUME: u8 = 1;
+
+/// Frame kind: a batch of sequence-numbered events.
+pub const FRAME_EVENTS: u8 = 1;
+/// Frame kind: liveness heartbeat carrying the sender's next sequence.
+pub const FRAME_HEARTBEAT: u8 = 2;
+/// Frame kind: end of stream, carrying the total event count.
+pub const FRAME_END: u8 = 3;
+
+/// Hard cap on a frame's declared body length: bounds in-flight memory
+/// and turns corrupt length fields into detected damage instead of an
+/// allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+/// Smallest legal frame body: kind + sequence + CRC.
+const MIN_FRAME_LEN: usize = 1 + 8 + 4;
+/// Cap on events per encoded frame (keeps frames well under
+/// [`MAX_FRAME_LEN`]).
+pub const MAX_FRAME_EVENTS: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Errors and stats
+// ---------------------------------------------------------------------------
+
+/// Everything that can go terminally wrong on a transport.
+///
+/// Recoverable trouble (a severed connection, a damaged frame in lenient
+/// mode) is handled inside the sources; what escapes is typed.
+#[derive(Debug)]
+pub enum TransportError {
+    /// An I/O error the source could not retry past.
+    Io(io::Error),
+    /// The session handshake was unusable — including
+    /// [`DecodeError::IdentityMismatch`], the typed refusal of a feed
+    /// from a foreign run.
+    Handshake(DecodeError),
+    /// A damaged frame under `strict` mode (lenient mode counts and
+    /// recovers instead).
+    Corrupt {
+        /// Frames accepted before the damage.
+        frame: u64,
+        /// What was malformed.
+        detail: String,
+    },
+    /// The reconnect budget ran out without progress.
+    Exhausted {
+        /// Connection attempts made since the last applied frame.
+        attempts: u32,
+        /// Total backoff slept over those attempts, in milliseconds.
+        waited_ms: u64,
+        /// The last underlying failure.
+        cause: String,
+    },
+}
+
+impl TransportError {
+    /// True when this error is the typed refusal of a foreign feed.
+    pub fn is_foreign_feed(&self) -> bool {
+        matches!(self, TransportError::Handshake(DecodeError::IdentityMismatch { .. }))
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+            TransportError::Handshake(e) => write!(f, "transport handshake refused: {e}"),
+            TransportError::Corrupt { frame, detail } => {
+                write!(f, "corrupt frame after {frame} good frames (strict mode): {detail}")
+            }
+            TransportError::Exhausted { attempts, waited_ms, cause } => write!(
+                f,
+                "connection budget exhausted after {attempts} attempts \
+                 ({waited_ms} ms of backoff); last error: {cause}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// Transport-side accounting, mirrored into the global `transport.*`
+/// metrics as it accumulates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames accepted (events, heartbeats, end markers).
+    pub frames: u64,
+    /// Events delivered to the consumer.
+    pub events: u64,
+    /// Events received again after a resume and dropped.
+    pub duplicates: u64,
+    /// Connections re-established after the first.
+    pub reconnects: u64,
+    /// Damaged frames skipped (lenient mode).
+    pub skipped_corrupt: u64,
+    /// Events irrecoverably lost to skipped damage (file sources only;
+    /// TCP re-fetches via resume instead).
+    pub lost_events: u64,
+    /// Total reconnect backoff slept, in milliseconds.
+    pub backoff_ms: u64,
+    /// Read timeouts while waiting for the peer.
+    pub heartbeats_missed: u64,
+    /// True once the terminal end-of-stream frame was consumed; a feed
+    /// that ends without it is degraded.
+    pub clean_end: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Handshake codec
+// ---------------------------------------------------------------------------
+
+/// Encodes the sender's opening hello.
+pub fn encode_hello(identity: &RunIdentity, total_events: u64) -> [u8; PRELUDE_LEN] {
+    Prelude {
+        magic: FEED_MAGIC,
+        version: FEED_VERSION,
+        kind: FEED_KIND,
+        mode: MODE_HELLO,
+        identity: *identity,
+        record_count: total_events,
+    }
+    .encode()
+}
+
+/// Encodes the receiver's resume answer.
+pub fn encode_resume(identity: &RunIdentity, resume_from: u64) -> [u8; PRELUDE_LEN] {
+    Prelude {
+        magic: FEED_MAGIC,
+        version: FEED_VERSION,
+        kind: FEED_KIND,
+        mode: MODE_RESUME,
+        identity: *identity,
+        record_count: resume_from,
+    }
+    .encode()
+}
+
+/// Validates a received handshake prelude: structure, magic/version/kind,
+/// expected mode, and run identity. Returns the decoded prelude (whose
+/// `record_count` carries the total or the resume sequence).
+pub fn decode_handshake(
+    bytes: &[u8],
+    expected: &RunIdentity,
+    want_mode: u8,
+) -> Result<Prelude, DecodeError> {
+    let p = Prelude::decode(bytes)?;
+    p.require(FEED_MAGIC, FEED_VERSION, FEED_KIND)?;
+    if p.mode != want_mode {
+        return Err(DecodeError::BadMode { found: p.mode });
+    }
+    check_identity(expected, &p.identity)?;
+    Ok(p)
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/// One decoded wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A batch of events; `seq` numbers the first one, the rest follow
+    /// consecutively.
+    Events {
+        /// Sequence number of `events[0]`.
+        seq: u64,
+        /// The batch, in stream order.
+        events: Vec<RoundEvent>,
+    },
+    /// Liveness marker carrying the sender's next sequence number.
+    Heartbeat {
+        /// The sequence the sender will emit next.
+        next_seq: u64,
+    },
+    /// End of stream carrying the total event count.
+    End {
+        /// Total events the stream held.
+        total: u64,
+    },
+}
+
+/// What [`decode_frame`] found at the head of a buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameDecode {
+    /// A valid frame and the bytes it consumed.
+    Frame {
+        /// The decoded frame.
+        frame: Frame,
+        /// Bytes consumed from the buffer, length prefix included.
+        consumed: usize,
+    },
+    /// The buffer holds an incomplete frame; `need` total bytes would
+    /// complete it.
+    NeedMore {
+        /// Bytes (from the buffer start) required for the next decode.
+        need: usize,
+    },
+    /// The head of the buffer is damaged. When the declared length was
+    /// plausible, `skip` tells a file reader how far to jump to try the
+    /// next frame; `None` means the stream is unframeable from here.
+    Damaged {
+        /// Bytes to skip to resynchronise, when the length was usable.
+        skip: Option<usize>,
+        /// What was malformed.
+        detail: &'static str,
+    },
+}
+
+fn put_event(out: &mut Vec<u8>, ev: &RoundEvent) {
+    match *ev {
+        RoundEvent::Round { block_id, round, a_short } => {
+            out.push(0);
+            out.extend_from_slice(&block_id.to_le_bytes());
+            out.extend_from_slice(&round.to_le_bytes());
+            out.extend_from_slice(&a_short.to_bits().to_le_bytes());
+        }
+        RoundEvent::Finish { block_id, outages, total_probes } => {
+            out.push(1);
+            out.extend_from_slice(&block_id.to_le_bytes());
+            out.extend_from_slice(&outages.to_le_bytes());
+            out.extend_from_slice(&total_probes.to_le_bytes());
+        }
+    }
+}
+
+fn get_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().expect("bounds checked"))
+}
+
+fn get_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().expect("bounds checked"))
+}
+
+/// Parses an events payload (count-prefixed tagged records). Returns
+/// `None` on any malformation.
+fn parse_events(payload: &[u8]) -> Option<Vec<RoundEvent>> {
+    if payload.len() < 4 {
+        return None;
+    }
+    let count = get_u32(payload, 0) as usize;
+    if count > MAX_FRAME_EVENTS {
+        return None;
+    }
+    let mut events = Vec::with_capacity(count);
+    let mut at = 4usize;
+    for _ in 0..count {
+        let tag = *payload.get(at)?;
+        at += 1;
+        match tag {
+            0 => {
+                if payload.len() < at + 24 {
+                    return None;
+                }
+                events.push(RoundEvent::Round {
+                    block_id: get_u64(payload, at),
+                    round: get_u64(payload, at + 8),
+                    a_short: f64::from_bits(get_u64(payload, at + 16)),
+                });
+                at += 24;
+            }
+            1 => {
+                if payload.len() < at + 20 {
+                    return None;
+                }
+                events.push(RoundEvent::Finish {
+                    block_id: get_u64(payload, at),
+                    outages: get_u32(payload, at + 8),
+                    total_probes: get_u64(payload, at + 12),
+                });
+                at += 20;
+            }
+            _ => return None,
+        }
+    }
+    if at != payload.len() {
+        return None; // trailing bytes: the frame lied about its count
+    }
+    Some(events)
+}
+
+/// Encodes one frame into `out`, chaining its CRC to `chain` (the
+/// session's handshake header CRC).
+pub fn encode_frame(out: &mut Vec<u8>, frame: &Frame, chain: u32) {
+    let mut body = Vec::new();
+    match frame {
+        Frame::Events { seq, events } => {
+            assert!(events.len() <= MAX_FRAME_EVENTS, "frame too large");
+            body.push(FRAME_EVENTS);
+            body.extend_from_slice(&seq.to_le_bytes());
+            body.extend_from_slice(&(events.len() as u32).to_le_bytes());
+            for ev in events {
+                put_event(&mut body, ev);
+            }
+        }
+        Frame::Heartbeat { next_seq } => {
+            body.push(FRAME_HEARTBEAT);
+            body.extend_from_slice(&next_seq.to_le_bytes());
+        }
+        Frame::End { total } => {
+            body.push(FRAME_END);
+            body.extend_from_slice(&total.to_le_bytes());
+        }
+    }
+    let mut crc = Crc32::new();
+    crc.update(&chain.to_le_bytes());
+    crc.update(&body);
+    let crc = crc.finish();
+    let len = body.len() + 4;
+    debug_assert!(len <= MAX_FRAME_LEN);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Decodes the frame at the head of `buf`. Total: any malformed input is
+/// reported as [`FrameDecode::Damaged`] or [`FrameDecode::NeedMore`],
+/// never trusted, never panics, never reads past the slice.
+pub fn decode_frame(buf: &[u8], chain: u32) -> FrameDecode {
+    if buf.len() < 4 {
+        return FrameDecode::NeedMore { need: 4 };
+    }
+    let len = get_u32(buf, 0) as usize;
+    if !(MIN_FRAME_LEN..=MAX_FRAME_LEN).contains(&len) {
+        return FrameDecode::Damaged { skip: None, detail: "implausible frame length" };
+    }
+    if buf.len() < 4 + len {
+        return FrameDecode::NeedMore { need: 4 + len };
+    }
+    let body = &buf[4..4 + len - 4];
+    let declared = get_u32(buf, 4 + len - 4);
+    let mut crc = Crc32::new();
+    crc.update(&chain.to_le_bytes());
+    crc.update(body);
+    if crc.finish() != declared {
+        return FrameDecode::Damaged { skip: Some(4 + len), detail: "frame crc mismatch" };
+    }
+    let kind = body[0];
+    let seq = get_u64(body, 1);
+    let payload = &body[9..];
+    let frame = match kind {
+        FRAME_EVENTS => match parse_events(payload) {
+            Some(events) => Frame::Events { seq, events },
+            None => {
+                return FrameDecode::Damaged { skip: Some(4 + len), detail: "malformed events" }
+            }
+        },
+        FRAME_HEARTBEAT if payload.is_empty() => Frame::Heartbeat { next_seq: seq },
+        FRAME_END if payload.is_empty() => Frame::End { total: seq },
+        _ => return FrameDecode::Damaged { skip: Some(4 + len), detail: "unknown frame kind" },
+    };
+    FrameDecode::Frame { frame, consumed: 4 + len }
+}
+
+// ---------------------------------------------------------------------------
+// The EventSource trait
+// ---------------------------------------------------------------------------
+
+/// A blocking, pull-based source of [`RoundEvent`]s — the one interface
+/// the ingest feeder consumes. Pull-based is the backpressure story:
+/// while the consumer is not calling [`EventSource::next_event`], a
+/// socket-backed source is not reading, and TCP flow control pushes back
+/// on the sender with no unbounded buffering anywhere.
+pub trait EventSource {
+    /// The next event, blocking as needed. `Ok(None)` is end of stream.
+    fn next_event(&mut self) -> Result<Option<RoundEvent>, TransportError>;
+
+    /// Transport accounting so far.
+    fn stats(&self) -> TransportStats;
+}
+
+/// Adapts an in-memory iterator to [`EventSource`] — the zero-transport
+/// baseline benches compare the wire against.
+pub struct IterSource<I> {
+    iter: I,
+    stats: TransportStats,
+}
+
+impl<I: Iterator<Item = RoundEvent>> IterSource<I> {
+    /// Wraps an iterator.
+    pub fn new(iter: I) -> Self {
+        IterSource { iter, stats: TransportStats { clean_end: true, ..Default::default() } }
+    }
+}
+
+impl<I: Iterator<Item = RoundEvent>> EventSource for IterSource<I> {
+    fn next_event(&mut self) -> Result<Option<RoundEvent>, TransportError> {
+        let ev = self.iter.next();
+        if ev.is_some() {
+            self.stats.events += 1;
+        }
+        Ok(ev)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequence bookkeeping shared by both sources
+// ---------------------------------------------------------------------------
+
+/// Applies an events frame against the receiver's cursor: drops the
+/// already-seen prefix (resume duplicates), detects gaps.
+enum Applied {
+    /// The frame was applied; `dupes` already-seen events were dropped.
+    Ok { dupes: u64 },
+    /// The frame starts past the cursor: events never arrived.
+    Gap,
+}
+
+fn apply_events(
+    next_seq: &mut u64,
+    seq: u64,
+    events: Vec<RoundEvent>,
+    pending: &mut VecDeque<RoundEvent>,
+) -> Applied {
+    let end = seq + events.len() as u64;
+    if seq > *next_seq {
+        return Applied::Gap;
+    }
+    if end <= *next_seq {
+        return Applied::Ok { dupes: events.len() as u64 };
+    }
+    let skip = (*next_seq - seq) as usize;
+    pending.extend(events.into_iter().skip(skip));
+    *next_seq = end;
+    Applied::Ok { dupes: skip as u64 }
+}
+
+fn obs() -> &'static sleepwatch_obs::TransportMetrics {
+    &sleepwatch_obs::global().transport
+}
+
+// ---------------------------------------------------------------------------
+// File / pipe source
+// ---------------------------------------------------------------------------
+
+/// Serializes a whole feed (hello, event frames, end marker) — the file
+/// the [`FileSource`] reads and `sleepwatch feed --to-file` writes.
+pub fn write_feed<W: Write>(
+    w: &mut W,
+    events: &[RoundEvent],
+    identity: &RunIdentity,
+    frame_events: usize,
+) -> io::Result<()> {
+    let hello = encode_hello(identity, events.len() as u64);
+    let chain = crate::transport::header_crc_of(&hello);
+    w.write_all(&hello)?;
+    let frame_events = frame_events.clamp(1, MAX_FRAME_EVENTS);
+    let mut out = Vec::new();
+    let mut seq = 0u64;
+    for batch in events.chunks(frame_events) {
+        out.clear();
+        encode_frame(&mut out, &Frame::Events { seq, events: batch.to_vec() }, chain);
+        w.write_all(&out)?;
+        seq += batch.len() as u64;
+    }
+    out.clear();
+    encode_frame(&mut out, &Frame::End { total: seq }, chain);
+    w.write_all(&out)?;
+    w.flush()
+}
+
+/// The header CRC a handshake prelude carries (the per-session chain
+/// seed for every frame CRC).
+pub fn header_crc_of(prelude: &[u8; PRELUDE_LEN]) -> u32 {
+    get_u32(prelude, 56)
+}
+
+/// Reads a feed from a file or pipe.
+///
+/// Lenient mode skips damaged frames (counting them, and counting the
+/// events lost to the skip), heals a torn tail to the valid prefix, and
+/// resynchronises on sequence gaps; `strict` refuses the first damage
+/// with a typed error. A file cannot be re-asked for lost bytes, so the
+/// skip-and-count here is genuinely lossy — the TCP source instead
+/// reconnects and resumes, losing nothing.
+pub struct FileSource<R> {
+    r: R,
+    buf: Vec<u8>,
+    start: usize,
+    chain: u32,
+    next_seq: u64,
+    pending: VecDeque<RoundEvent>,
+    strict: bool,
+    stats: TransportStats,
+    done: bool,
+    eof: bool,
+}
+
+impl<R: Read> FileSource<R> {
+    /// Reads and validates the hello handshake; a foreign identity is
+    /// refused before any event is decoded.
+    pub fn new(mut r: R, expected: &RunIdentity, strict: bool) -> Result<Self, TransportError> {
+        let mut hello = [0u8; PRELUDE_LEN];
+        r.read_exact(&mut hello).map_err(|e| match e.kind() {
+            io::ErrorKind::UnexpectedEof => {
+                TransportError::Handshake(DecodeError::Truncated { need: PRELUDE_LEN, have: 0 })
+            }
+            _ => TransportError::Io(e),
+        })?;
+        decode_handshake(&hello, expected, MODE_HELLO).map_err(TransportError::Handshake)?;
+        Ok(FileSource {
+            r,
+            buf: Vec::with_capacity(64 << 10),
+            start: 0,
+            chain: header_crc_of(&hello),
+            next_seq: 0,
+            pending: VecDeque::new(),
+            strict,
+            stats: TransportStats::default(),
+            done: false,
+            eof: false,
+        })
+    }
+
+    fn fill(&mut self) -> io::Result<usize> {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        let mut chunk = [0u8; 64 << 10];
+        let n = self.r.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    fn corrupt(&mut self, detail: &'static str) -> Result<(), TransportError> {
+        self.stats.skipped_corrupt += 1;
+        obs().skipped_corrupt.incr();
+        if self.strict {
+            self.done = true;
+            return Err(TransportError::Corrupt {
+                frame: self.stats.frames,
+                detail: detail.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<R: Read> EventSource for FileSource<R> {
+    fn next_event(&mut self) -> Result<Option<RoundEvent>, TransportError> {
+        loop {
+            if let Some(ev) = self.pending.pop_front() {
+                self.stats.events += 1;
+                return Ok(Some(ev));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            match decode_frame(&self.buf[self.start..], self.chain) {
+                FrameDecode::NeedMore { .. } if !self.eof => {
+                    if self.fill()? == 0 {
+                        self.eof = true;
+                    }
+                }
+                FrameDecode::NeedMore { .. } => {
+                    // Torn tail: heal to the valid prefix (or refuse).
+                    if self.start < self.buf.len() {
+                        self.corrupt("torn trailing frame")?;
+                    }
+                    self.done = true;
+                }
+                FrameDecode::Damaged { skip, detail } => {
+                    self.corrupt(detail)?;
+                    match skip {
+                        Some(n) => self.start += n.min(self.buf.len() - self.start),
+                        // The length field itself is untrustworthy: the
+                        // rest of the stream is unframeable.
+                        None => self.done = true,
+                    }
+                }
+                FrameDecode::Frame { frame, consumed } => {
+                    self.start += consumed;
+                    self.stats.frames += 1;
+                    obs().frames.incr();
+                    match frame {
+                        Frame::Events { seq, events } => {
+                            if seq > self.next_seq {
+                                // A file cannot be re-read past a skip:
+                                // account the loss and resync forward.
+                                let missing = seq - self.next_seq;
+                                if self.strict {
+                                    self.done = true;
+                                    return Err(TransportError::Corrupt {
+                                        frame: self.stats.frames,
+                                        detail: format!("sequence gap of {missing} events"),
+                                    });
+                                }
+                                self.stats.lost_events += missing;
+                                self.next_seq = seq;
+                            }
+                            match apply_events(&mut self.next_seq, seq, events, &mut self.pending) {
+                                Applied::Ok { dupes, .. } => self.stats.duplicates += dupes,
+                                Applied::Gap => unreachable!("gap resynced above"),
+                            }
+                        }
+                        Frame::Heartbeat { .. } => {}
+                        Frame::End { total } => {
+                            if total > self.next_seq {
+                                let missing = total - self.next_seq;
+                                if self.strict {
+                                    self.done = true;
+                                    return Err(TransportError::Corrupt {
+                                        frame: self.stats.frames,
+                                        detail: format!("stream ended {missing} events short"),
+                                    });
+                                }
+                                self.stats.lost_events += missing;
+                            } else {
+                                self.stats.clean_end = true;
+                            }
+                            self.done = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+// ---------------------------------------------------------------------------
+
+/// Seed-keyed exponential backoff with jitter for reconnect attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// First-retry delay, milliseconds.
+    pub base_ms: u64,
+    /// Cap on any single delay, milliseconds.
+    pub max_ms: u64,
+    /// Consecutive attempts without progress before giving up.
+    pub attempts: u32,
+    /// Jitter seed: the same seed replays the same delays.
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig { base_ms: 25, max_ms: 800, attempts: 8, seed: 0x5EED_BACC }
+    }
+}
+
+impl BackoffConfig {
+    /// The delay before retry `attempt` (0-based): exponential, capped,
+    /// with deterministic jitter in the upper half of the window.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let exp = self.base_ms.saturating_mul(1u64 << attempt.min(16)).min(self.max_ms.max(1));
+        let jitter = hash_parts(&[self.seed, 0x6A17_7E12, u64::from(attempt)]);
+        exp / 2 + jitter % (exp / 2 + 1)
+    }
+
+    /// Worst-case total sleep across the whole attempt budget — the
+    /// "one backoff budget" the recovery bench gates against.
+    pub fn budget_ms(&self) -> u64 {
+        (0..self.attempts)
+            .map(|a| self.base_ms.saturating_mul(1u64 << a.min(16)).min(self.max_ms.max(1)))
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP source
+// ---------------------------------------------------------------------------
+
+/// Where a TCP endpoint gets its peer: dial out, or accept on a bound
+/// listener. Both sides of the feed support both, so either process can
+/// be the one that listens.
+pub enum Endpoint {
+    /// Connect to this address.
+    Dial(String),
+    /// Accept connections on this listener.
+    Accept(TcpListener),
+}
+
+impl Endpoint {
+    /// One connection attempt, bounded by `wait`.
+    fn open(&self, wait: Duration) -> io::Result<TcpStream> {
+        match self {
+            Endpoint::Dial(addr) => TcpStream::connect(addr.as_str()),
+            Endpoint::Accept(listener) => {
+                listener.set_nonblocking(true)?;
+                let deadline = Instant::now() + wait;
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(false)?;
+                            return Ok(stream);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            if Instant::now() >= deadline {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::TimedOut,
+                                    "no peer connected within the accept window",
+                                ));
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Tuning for the TCP client.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Run identity both handshake directions are validated against.
+    pub identity: RunIdentity,
+    /// Per-read timeout; each expiry counts one missed heartbeat.
+    pub read_timeout: Duration,
+    /// Consecutive missed heartbeats tolerated before the connection is
+    /// declared dead and rebuilt.
+    pub heartbeat_budget: u32,
+    /// Reconnect backoff and attempt budget.
+    pub backoff: BackoffConfig,
+    /// Refuse damaged frames instead of reconnecting past them.
+    pub strict: bool,
+}
+
+impl TcpConfig {
+    /// Defaults around an identity: 500 ms reads, 4 missed heartbeats,
+    /// default backoff, lenient.
+    pub fn new(identity: RunIdentity) -> Self {
+        TcpConfig {
+            identity,
+            read_timeout: Duration::from_millis(500),
+            heartbeat_budget: 4,
+            backoff: BackoffConfig::default(),
+            strict: false,
+        }
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    start: usize,
+    misses: u32,
+}
+
+/// Why the current connection is unusable (recoverable: reconnect).
+enum Poison {
+    Corrupt(&'static str),
+    Silent,
+    Gone(String),
+}
+
+/// Receives a feed over TCP with reconnect-and-resume.
+///
+/// Every accepted frame advances a sequence cursor; after any sever,
+/// timeout past budget, damage or gap, the connection is dropped and the
+/// next handshake asks the sender to resume from the cursor — so chaos
+/// on the wire costs retries, never events. The attempt budget is
+/// charged per stretch of no progress and refilled by every applied
+/// frame.
+pub struct TcpEventSource {
+    endpoint: Endpoint,
+    cfg: TcpConfig,
+    conn: Option<Conn>,
+    connected_once: bool,
+    next_seq: u64,
+    pending: VecDeque<RoundEvent>,
+    stats: TransportStats,
+    failures: u32,
+    waited_ms: u64,
+    last_error: String,
+    done: bool,
+}
+
+impl TcpEventSource {
+    /// A client that dials `addr`.
+    pub fn dial(addr: impl Into<String>, cfg: TcpConfig) -> Self {
+        TcpEventSource::over(Endpoint::Dial(addr.into()), cfg)
+    }
+
+    /// A client that accepts its peer on `listener`.
+    pub fn accept(listener: TcpListener, cfg: TcpConfig) -> Self {
+        TcpEventSource::over(Endpoint::Accept(listener), cfg)
+    }
+
+    /// A client over any endpoint.
+    pub fn over(endpoint: Endpoint, cfg: TcpConfig) -> Self {
+        TcpEventSource {
+            endpoint,
+            cfg,
+            conn: None,
+            connected_once: false,
+            next_seq: 0,
+            pending: VecDeque::new(),
+            stats: TransportStats::default(),
+            failures: 0,
+            waited_ms: 0,
+            last_error: String::new(),
+            done: false,
+        }
+    }
+
+    /// One connect + handshake attempt.
+    fn connect_once(&mut self) -> Result<Conn, TransportError> {
+        let stream = self.endpoint.open(self.cfg.read_timeout)?;
+        stream.set_read_timeout(Some(self.cfg.read_timeout))?;
+        stream.set_nodelay(true)?;
+        let mut hello = [0u8; PRELUDE_LEN];
+        let mut stream = stream;
+        stream.read_exact(&mut hello).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                TransportError::Handshake(DecodeError::Truncated { need: PRELUDE_LEN, have: 0 })
+            } else {
+                TransportError::Io(e)
+            }
+        })?;
+        decode_handshake(&hello, &self.cfg.identity, MODE_HELLO)
+            .map_err(TransportError::Handshake)?;
+        stream.write_all(&encode_resume(&self.cfg.identity, self.next_seq))?;
+        stream.flush()?;
+        Ok(Conn { stream, buf: Vec::with_capacity(64 << 10), start: 0, misses: 0 })
+    }
+
+    /// Establishes a connection, burning backoff budget on failures.
+    /// Only an identity mismatch is instantly fatal — everything else
+    /// (refused dials, torn handshakes, flipped handshake bytes) is
+    /// retried until the budget runs dry.
+    fn ensure_conn(&mut self) -> Result<(), TransportError> {
+        while self.conn.is_none() {
+            if self.failures >= self.cfg.backoff.attempts {
+                return Err(TransportError::Exhausted {
+                    attempts: self.failures,
+                    waited_ms: self.waited_ms,
+                    cause: std::mem::take(&mut self.last_error),
+                });
+            }
+            if self.failures > 0 || self.connected_once {
+                let delay = self.cfg.backoff.delay_ms(self.failures);
+                std::thread::sleep(Duration::from_millis(delay));
+                self.stats.backoff_ms += delay;
+                self.waited_ms += delay;
+                obs().backoff_ms.add(delay);
+            }
+            match self.connect_once() {
+                Ok(conn) => {
+                    if self.connected_once {
+                        self.stats.reconnects += 1;
+                        obs().reconnects.incr();
+                    }
+                    self.connected_once = true;
+                    self.conn = Some(conn);
+                }
+                Err(e) if e.is_foreign_feed() => return Err(e),
+                Err(e) => {
+                    self.failures += 1;
+                    self.last_error = e.to_string();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applied progress refills the attempt budget: a storm of severs
+    /// that each let *some* frames through can run arbitrarily long.
+    fn progress(&mut self) {
+        self.failures = 0;
+        self.waited_ms = 0;
+    }
+
+    /// Reads until one frame is applied (or the connection poisons).
+    fn pump(&mut self) -> Result<(), Poison> {
+        let chain = self.chain();
+        let conn = self.conn.as_mut().expect("pump without connection");
+        loop {
+            match decode_frame(&conn.buf[conn.start..], chain) {
+                FrameDecode::NeedMore { .. } => {
+                    if conn.start > 0 {
+                        conn.buf.drain(..conn.start);
+                        conn.start = 0;
+                    }
+                    let mut chunk = [0u8; 64 << 10];
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => return Err(Poison::Gone("peer closed mid-stream".into())),
+                        Ok(n) => {
+                            conn.buf.extend_from_slice(&chunk[..n]);
+                            conn.misses = 0;
+                        }
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut =>
+                        {
+                            conn.misses += 1;
+                            self.stats.heartbeats_missed += 1;
+                            obs().heartbeats_missed.incr();
+                            if conn.misses > self.cfg.heartbeat_budget {
+                                return Err(Poison::Silent);
+                            }
+                        }
+                        Err(e) => return Err(Poison::Gone(e.to_string())),
+                    }
+                }
+                FrameDecode::Damaged { detail, .. } => {
+                    // On a socket, damage poisons the whole connection:
+                    // resume re-fetches everything after the cursor, so
+                    // skipping would only risk trusting a lying length.
+                    return Err(Poison::Corrupt(detail));
+                }
+                FrameDecode::Frame { frame, consumed } => {
+                    conn.start += consumed;
+                    self.stats.frames += 1;
+                    obs().frames.incr();
+                    match frame {
+                        Frame::Events { seq, events } => {
+                            match apply_events(&mut self.next_seq, seq, events, &mut self.pending) {
+                                Applied::Ok { dupes, .. } => {
+                                    self.stats.duplicates += dupes;
+                                    return Ok(());
+                                }
+                                // Reordered past the cursor: the missing
+                                // frame may never come; resume fixes it.
+                                Applied::Gap => return Err(Poison::Corrupt("sequence gap")),
+                            }
+                        }
+                        Frame::Heartbeat { next_seq } => {
+                            conn.misses = 0;
+                            if next_seq > self.next_seq {
+                                return Err(Poison::Corrupt("heartbeat ahead of cursor"));
+                            }
+                            return Ok(());
+                        }
+                        Frame::End { total } => {
+                            if total > self.next_seq {
+                                return Err(Poison::Corrupt("end marker ahead of cursor"));
+                            }
+                            self.stats.clean_end = true;
+                            self.done = true;
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The per-session CRC chain seed: the hello this client would
+    /// accept. Both sides derive it from the identity, so it needs no
+    /// extra state per connection — but it *does* bind frames to the
+    /// run identity.
+    fn chain(&self) -> u32 {
+        // The sender's hello varies only in record_count; chain on the
+        // identity-bearing resume form instead, which both sides can
+        // compute without remembering the hello bytes.
+        header_crc_of(&encode_resume(&self.cfg.identity, 0))
+    }
+}
+
+impl EventSource for TcpEventSource {
+    fn next_event(&mut self) -> Result<Option<RoundEvent>, TransportError> {
+        loop {
+            if let Some(ev) = self.pending.pop_front() {
+                self.stats.events += 1;
+                return Ok(Some(ev));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            self.ensure_conn()?;
+            match self.pump() {
+                Ok(()) => self.progress(),
+                Err(poison) => {
+                    self.conn = None;
+                    self.failures += 1;
+                    match poison {
+                        Poison::Corrupt(detail) => {
+                            self.stats.skipped_corrupt += 1;
+                            obs().skipped_corrupt.incr();
+                            self.last_error = format!("corrupt frame: {detail}");
+                            if self.cfg.strict {
+                                return Err(TransportError::Corrupt {
+                                    frame: self.stats.frames,
+                                    detail: detail.to_string(),
+                                });
+                            }
+                        }
+                        Poison::Silent => {
+                            self.last_error = format!(
+                                "peer silent past {} missed heartbeats",
+                                self.cfg.heartbeat_budget
+                            );
+                        }
+                        Poison::Gone(cause) => self.last_error = cause,
+                    }
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Feed server (the sender)
+// ---------------------------------------------------------------------------
+
+/// Tuning for the sending side.
+#[derive(Debug, Clone)]
+pub struct FeedConfig {
+    /// Run identity carried in the hello and demanded of the receiver's
+    /// resume answer.
+    pub identity: RunIdentity,
+    /// Events per frame.
+    pub frame_events: usize,
+    /// A heartbeat every this many event frames.
+    pub heartbeat_every: u64,
+    /// Read timeout while waiting for the receiver's resume answer.
+    pub resume_timeout: Duration,
+}
+
+impl FeedConfig {
+    /// Defaults around an identity.
+    pub fn new(identity: RunIdentity) -> Self {
+        FeedConfig {
+            identity,
+            frame_events: 256,
+            heartbeat_every: 32,
+            resume_timeout: Duration::from_millis(2_000),
+        }
+    }
+}
+
+/// Serves one connection: hello out, resume answer in (foreign receivers
+/// refused), then frames from the requested sequence, heartbeats
+/// interleaved, end marker last. `Ok(true)` means the full stream
+/// including the end marker was written and flushed.
+pub fn serve_connection(
+    stream: &mut TcpStream,
+    events: &[RoundEvent],
+    cfg: &FeedConfig,
+) -> Result<bool, TransportError> {
+    stream.set_read_timeout(Some(cfg.resume_timeout))?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&encode_hello(&cfg.identity, events.len() as u64))?;
+    stream.flush()?;
+    let mut resume = [0u8; PRELUDE_LEN];
+    stream.read_exact(&mut resume).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TransportError::Handshake(DecodeError::Truncated { need: PRELUDE_LEN, have: 0 })
+        } else {
+            TransportError::Io(e)
+        }
+    })?;
+    let answer =
+        decode_handshake(&resume, &cfg.identity, MODE_RESUME).map_err(TransportError::Handshake)?;
+    let chain = header_crc_of(&encode_resume(&cfg.identity, 0));
+    let from = (answer.record_count as usize).min(events.len());
+    let frame_events = cfg.frame_events.clamp(1, MAX_FRAME_EVENTS);
+    let mut out = Vec::with_capacity(frame_events * 32 + 64);
+    let mut seq = from as u64;
+    for (i, batch) in events[from..].chunks(frame_events).enumerate() {
+        out.clear();
+        encode_frame(&mut out, &Frame::Events { seq, events: batch.to_vec() }, chain);
+        seq += batch.len() as u64;
+        if cfg.heartbeat_every > 0 && (i as u64 + 1) % cfg.heartbeat_every == 0 {
+            encode_frame(&mut out, &Frame::Heartbeat { next_seq: seq }, chain);
+        }
+        stream.write_all(&out)?;
+    }
+    out.clear();
+    encode_frame(&mut out, &Frame::End { total: events.len() as u64 }, chain);
+    stream.write_all(&out)?;
+    stream.flush()?;
+    Ok(true)
+}
+
+/// Runs a replaying feed server until `stop` is raised (accept mode) or
+/// the stream is delivered end-to-end once (dial mode). Returns
+/// connections served.
+///
+/// Accept mode keeps serving fresh connections — a client that lost its
+/// socket reconnects and resumes — and treats per-connection failures as
+/// that client's problem. Dial mode retries with the backoff budget and
+/// stops after the first complete delivery.
+pub fn serve_feed(
+    endpoint: &Endpoint,
+    events: &[RoundEvent],
+    cfg: &FeedConfig,
+    backoff: &BackoffConfig,
+    stop: &std::sync::atomic::AtomicBool,
+) -> Result<u32, TransportError> {
+    use std::sync::atomic::Ordering;
+    let mut served = 0u32;
+    let mut failures = 0u32;
+    let mut waited = 0u64;
+    let mut last_error = String::new();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(served);
+        }
+        if failures >= backoff.attempts {
+            return Err(TransportError::Exhausted {
+                attempts: failures,
+                waited_ms: waited,
+                cause: last_error,
+            });
+        }
+        if failures > 0 {
+            let delay = backoff.delay_ms(failures - 1);
+            std::thread::sleep(Duration::from_millis(delay));
+            waited += delay;
+        }
+        match endpoint.open(Duration::from_millis(200)) {
+            Ok(mut stream) => match serve_connection(&mut stream, events, cfg) {
+                Ok(complete) => {
+                    served += 1;
+                    failures = 0;
+                    waited = 0;
+                    if complete && matches!(endpoint, Endpoint::Dial(_)) {
+                        return Ok(served);
+                    }
+                }
+                Err(e) if e.is_foreign_feed() => return Err(e),
+                Err(e) => {
+                    // The receiver will reconnect and resume; in accept
+                    // mode this costs nothing but the connection.
+                    if matches!(endpoint, Endpoint::Dial(_)) {
+                        failures += 1;
+                    }
+                    last_error = e.to_string();
+                }
+            },
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                // Accept window expired with no client: not a failure,
+                // just poll `stop` again.
+                if matches!(endpoint, Endpoint::Dial(_)) {
+                    failures += 1;
+                    last_error = e.to_string();
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                last_error = e.to_string();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn ident() -> RunIdentity {
+        RunIdentity { world_seed: 7, num_blocks: 3, rounds: 40, start_time: 1_000 }
+    }
+
+    fn sample_events(n: u64) -> Vec<RoundEvent> {
+        let mut out: Vec<RoundEvent> = (0..n)
+            .map(|i| RoundEvent::Round { block_id: i % 3, round: i, a_short: i as f64 / n as f64 })
+            .collect();
+        out.push(RoundEvent::Finish { block_id: 0, outages: 2, total_probes: 99 });
+        out
+    }
+
+    #[test]
+    fn frame_roundtrip_exact() {
+        let events = sample_events(10);
+        for frame in [
+            Frame::Events { seq: 5, events: events.clone() },
+            Frame::Heartbeat { next_seq: 17 },
+            Frame::End { total: 11 },
+        ] {
+            let mut buf = Vec::new();
+            encode_frame(&mut buf, &frame, 0xDEAD_BEEF);
+            match decode_frame(&buf, 0xDEAD_BEEF) {
+                FrameDecode::Frame { frame: got, consumed } => {
+                    assert_eq!(got, frame);
+                    assert_eq!(consumed, buf.len());
+                }
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_crc_is_chained_to_the_session() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, &Frame::Heartbeat { next_seq: 1 }, 1);
+        assert!(
+            matches!(decode_frame(&buf, 2), FrameDecode::Damaged { .. }),
+            "a frame from another session must not decode"
+        );
+    }
+
+    #[test]
+    fn handshake_refuses_foreign_identity() {
+        let hello = encode_hello(&ident(), 10);
+        let mut other = ident();
+        other.world_seed ^= 1;
+        let err = decode_handshake(&hello, &other, MODE_HELLO).unwrap_err();
+        assert!(matches!(err, DecodeError::IdentityMismatch { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn file_source_roundtrip_and_torn_tail() {
+        let events = sample_events(500);
+        let mut bytes = Vec::new();
+        write_feed(&mut bytes, &events, &ident(), 64).unwrap();
+
+        let mut src = FileSource::new(&bytes[..], &ident(), true).unwrap();
+        let mut got = Vec::new();
+        while let Some(ev) = src.next_event().unwrap() {
+            got.push(ev);
+        }
+        assert_eq!(got, events);
+        assert!(src.stats().clean_end);
+
+        // Torn tail heals to a valid prefix in lenient mode (the cut
+        // lands inside the last events frame, past the End marker's
+        // length and the final frame's checksum).
+        let torn = &bytes[..bytes.len() - 100];
+        let mut src = FileSource::new(torn, &ident(), false).unwrap();
+        let mut got = Vec::new();
+        while let Some(ev) = src.next_event().unwrap() {
+            got.push(ev);
+        }
+        assert!(!got.is_empty() && got.len() < events.len());
+        assert_eq!(got[..], events[..got.len()]);
+        assert!(!src.stats().clean_end);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let b = BackoffConfig::default();
+        for a in 0..10 {
+            let d = b.delay_ms(a);
+            assert_eq!(d, b.delay_ms(a), "same seed, same delay");
+            assert!(d <= b.max_ms, "delay {d} over cap");
+        }
+        assert!(b.budget_ms() >= b.base_ms);
+        let other = BackoffConfig { seed: 1, ..b };
+        assert!((0..8).any(|a| b.delay_ms(a) != other.delay_ms(a)), "jitter ignores seed");
+    }
+
+    #[test]
+    fn tcp_roundtrip_with_resume_after_server_restart() {
+        let events = sample_events(2_000);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = {
+            let stop = Arc::clone(&stop);
+            let events = events.clone();
+            std::thread::spawn(move || {
+                serve_feed(
+                    &Endpoint::Accept(listener),
+                    &events,
+                    &FeedConfig::new(ident()),
+                    &BackoffConfig::default(),
+                    &stop,
+                )
+            })
+        };
+        let mut cfg = TcpConfig::new(ident());
+        cfg.read_timeout = Duration::from_millis(200);
+        let mut client = TcpEventSource::dial(addr.to_string(), cfg);
+        let mut got = Vec::new();
+        while let Some(ev) = client.next_event().unwrap() {
+            got.push(ev);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        server.join().unwrap().unwrap();
+        assert_eq!(got, events);
+        assert!(client.stats().clean_end);
+        assert_eq!(client.stats().events, events.len() as u64);
+    }
+
+    #[test]
+    fn tcp_refuses_foreign_feed_with_typed_error() {
+        let events = sample_events(50);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let _ = serve_feed(
+                    &Endpoint::Accept(listener),
+                    &events,
+                    &FeedConfig::new(ident()),
+                    &BackoffConfig::default(),
+                    &stop,
+                );
+            })
+        };
+        let mut foreign = ident();
+        foreign.num_blocks += 1;
+        let mut cfg = TcpConfig::new(foreign);
+        cfg.read_timeout = Duration::from_millis(200);
+        let mut client = TcpEventSource::dial(addr.to_string(), cfg);
+        let err = match client.next_event() {
+            Ok(Some(_)) => panic!("foreign feed delivered events"),
+            Ok(None) => panic!("foreign feed ended cleanly"),
+            Err(e) => e,
+        };
+        assert!(err.is_foreign_feed(), "{err}");
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_typed_error() {
+        // Nothing listens on this address (bound, never accepted, then
+        // dropped): every dial fails and the budget drains.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut cfg = TcpConfig::new(ident());
+        cfg.backoff = BackoffConfig { base_ms: 1, max_ms: 2, attempts: 3, seed: 9 };
+        let mut client = TcpEventSource::dial(dead.to_string(), cfg);
+        match client.next_event() {
+            Err(TransportError::Exhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+}

@@ -13,11 +13,15 @@
 //! * [`metamorphic`] — input transformations with provable output effects
 //!   (rotation ⇒ exact phase advance, scaling/permutation ⇒ invariance);
 //! * [`resilience`] — fixtures for the kill-and-resume journal oracle and
-//!   the panic-quarantine conformance suites.
+//!   the panic-quarantine conformance suites;
+//! * [`chaos`] — a deterministic frame-aware TCP proxy injecting wire
+//!   faults (mid-frame severs, byte flips, stalls, duplicate/reordered
+//!   frames, reconnect storms) between a `SLPWFEED` server and client.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod fixtures;
 pub mod golden;
 pub mod metamorphic;

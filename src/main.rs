@@ -11,8 +11,17 @@
 //!                      probe and classify a single /24
 //! sleepwatch ingest    [--blocks N] [--days D] [--seed S] [--shards K]
 //!                      [--journal FILE]
+//!                      [--listen ADDR | --connect ADDR | --from-file FILE]
+//!                      [--strict] [--read-timeout-ms T]
+//!                      [--reconnect-attempts N] [--backoff-ms B]
 //!                      stream a world through the sharded live-ingest
-//!                      engine (checkpointing to FILE when given)
+//!                      engine (checkpointing to FILE when given); with a
+//!                      transport flag the events arrive over the
+//!                      `SLPWFEED` wire instead of in-process
+//! sleepwatch feed      [--blocks N] [--days D] [--seed S]
+//!                      [--listen ADDR | --connect ADDR | --to-file FILE]
+//!                      serve the world's event feed to a remote ingest
+//!                      (or write it to a file)
 //! sleepwatch countries                     the embedded country table
 //! sleepwatch info                          versions and configuration
 //! ```
@@ -21,11 +30,16 @@
 //! (`cargo run -p sleepwatch-experiments -- --list`).
 
 use sleepwatch::core::{
-    analyze_block, analyze_world, decode_dataset, estimate_size, ingest_world,
-    ingest_world_resumable, read_dataset, write_dataset, write_dataset_bin_file,
-    write_dataset_rows, AnalysisConfig, IngestConfig,
+    analyze_block, analyze_world, decode_dataset, estimate_size, feed_identity, ingest_source,
+    ingest_source_resumable, ingest_world, ingest_world_resumable, read_dataset, world_feed,
+    write_dataset, write_dataset_bin_file, write_dataset_rows, AnalysisConfig, IngestConfig,
+    TransportOutcome,
 };
 use sleepwatch::geoecon::country::COUNTRIES;
+use sleepwatch::probing::transport::{
+    serve_feed, write_feed, BackoffConfig, Endpoint, EventSource, FeedConfig, FileSource,
+    TcpConfig, TcpEventSource, TransportError,
+};
 use sleepwatch::simnet::{BlockProfile, BlockSpec, World, WorldConfig, WorldSource};
 use std::path::Path;
 use std::process::ExitCode;
@@ -46,6 +60,14 @@ struct Args {
     journal: Option<String>,
     format: Option<Format>,
     diurnal: bool,
+    listen: Option<String>,
+    connect: Option<String>,
+    from_file: Option<String>,
+    to_file: Option<String>,
+    strict: bool,
+    read_timeout_ms: u64,
+    reconnect_attempts: u32,
+    backoff_ms: u64,
     positional: Vec<String>,
 }
 
@@ -61,6 +83,14 @@ impl Default for Args {
             journal: None,
             format: None,
             diurnal: true,
+            listen: None,
+            connect: None,
+            from_file: None,
+            to_file: None,
+            strict: false,
+            read_timeout_ms: 500,
+            reconnect_attempts: 8,
+            backoff_ms: 25,
             positional: Vec::new(),
         }
     }
@@ -72,9 +102,28 @@ fn usage() -> ! {
          [--blocks N] [--days D] [--seed S] [--threads T] [--dataset FILE] \
          [--format tsv|bin] [--flat]\n       \
          sleepwatch convert IN OUT [--format tsv|bin] [--blocks N] [--seed S]\n       \
-         sleepwatch ingest [--blocks N] [--days D] [--seed S] [--shards K] [--journal FILE]"
+         sleepwatch ingest [--blocks N] [--days D] [--seed S] [--shards K] [--journal FILE]\n             \
+         [--listen ADDR | --connect ADDR | --from-file FILE] [--strict]\n             \
+         [--read-timeout-ms T] [--reconnect-attempts N] [--backoff-ms B]\n       \
+         sleepwatch feed [--blocks N] [--days D] [--seed S]\n             \
+         [--listen ADDR | --connect ADDR | --to-file FILE]"
     );
     std::process::exit(2);
+}
+
+/// Rejects one flag's value with a cause naming the flag — so a typo in
+/// `--read-timeout-ms abc` says which flag was malformed instead of
+/// dumping the whole usage string.
+fn bad_flag(flag: &str, why: &str) -> ! {
+    eprintln!("sleepwatch: {flag}: {why}");
+    std::process::exit(2);
+}
+
+/// Parses one flag's value, refusing missing or malformed input with a
+/// per-flag error.
+fn flag_value<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    let Some(v) = v else { bad_flag(flag, "missing value") };
+    v.parse().unwrap_or_else(|_| bad_flag(flag, &format!("malformed value {v:?}")))
 }
 
 fn parse_args(mut it: impl Iterator<Item = String>) -> Args {
@@ -103,6 +152,24 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Args {
             }
             "--flat" => a.diurnal = false,
             "--diurnal" => a.diurnal = true,
+            "--listen" => a.listen = Some(flag_value("--listen", it.next())),
+            "--connect" => a.connect = Some(flag_value("--connect", it.next())),
+            "--from-file" => a.from_file = Some(flag_value("--from-file", it.next())),
+            "--to-file" => a.to_file = Some(flag_value("--to-file", it.next())),
+            "--strict" => a.strict = true,
+            "--read-timeout-ms" => {
+                a.read_timeout_ms = flag_value("--read-timeout-ms", it.next());
+                if a.read_timeout_ms == 0 {
+                    bad_flag("--read-timeout-ms", "must be at least 1");
+                }
+            }
+            "--reconnect-attempts" => {
+                a.reconnect_attempts = flag_value("--reconnect-attempts", it.next());
+                if a.reconnect_attempts == 0 {
+                    bad_flag("--reconnect-attempts", "must be at least 1");
+                }
+            }
+            "--backoff-ms" => a.backoff_ms = flag_value("--backoff-ms", it.next()),
             other if !other.starts_with('-') => a.positional.push(arg),
             _ => usage(),
         }
@@ -285,10 +352,103 @@ fn cmd_block(a: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Builds the wire event source the transport flags selected, if any.
+/// At most one of `--listen`, `--connect`, `--from-file` may be given.
+fn wire_source(
+    a: &Args,
+    identity: sleepwatch::core::framing::RunIdentity,
+) -> Result<Option<Box<dyn EventSource>>, String> {
+    let picked = [a.listen.is_some(), a.connect.is_some(), a.from_file.is_some()]
+        .into_iter()
+        .filter(|&b| b)
+        .count();
+    if picked > 1 {
+        return Err("--listen, --connect and --from-file are mutually exclusive".into());
+    }
+    let mut cfg = TcpConfig::new(identity);
+    cfg.read_timeout = std::time::Duration::from_millis(a.read_timeout_ms);
+    cfg.backoff = BackoffConfig {
+        base_ms: a.backoff_ms.max(1),
+        attempts: a.reconnect_attempts,
+        ..BackoffConfig::default()
+    };
+    cfg.strict = a.strict;
+    if let Some(addr) = &a.connect {
+        return Ok(Some(Box::new(TcpEventSource::dial(addr.clone(), cfg))));
+    }
+    if let Some(addr) = &a.listen {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| format!("could not listen on {addr}: {e}"))?;
+        eprintln!("waiting for a feed on {addr}…");
+        return Ok(Some(Box::new(TcpEventSource::accept(listener, cfg))));
+    }
+    if let Some(path) = &a.from_file {
+        let f = std::fs::File::open(path).map_err(|e| format!("could not open {path}: {e}"))?;
+        let fs = FileSource::new(std::io::BufReader::new(f), &identity, a.strict)
+            .map_err(|e| format!("could not read feed {path}: {e}"))?;
+        return Ok(Some(Box::new(fs)));
+    }
+    Ok(None)
+}
+
+/// Renders a transport-fed ingest: the usual summary plus the wire's
+/// accounting, a degradation report when the feed died early, and a
+/// nonzero exit with a readable cause on any terminal transport error.
+fn report_transport(a: &Args, out: TransportOutcome, secs: f64, shards: usize) -> ExitCode {
+    print_ingest_summary(a, &out.outcome, secs, shards);
+    let t = &out.transport;
+    println!("wire frames         : {}", t.frames);
+    println!("reconnects          : {}", t.reconnects);
+    if t.duplicates > 0 {
+        println!("duplicate frames    : {}", t.duplicates);
+    }
+    if t.skipped_corrupt > 0 || t.lost_events > 0 {
+        println!(
+            "corrupt skipped     : {} frames, {} events lost",
+            t.skipped_corrupt, t.lost_events
+        );
+    }
+    if t.heartbeats_missed > 0 {
+        println!("heartbeats missed   : {}", t.heartbeats_missed);
+    }
+    if t.backoff_ms > 0 {
+        println!("backoff slept       : {} ms", t.backoff_ms);
+    }
+    if let Some(e) = &out.error {
+        match e {
+            TransportError::Exhausted { .. } => {
+                eprintln!("sleepwatch: connection budget exhausted: {e}");
+            }
+            e if e.is_foreign_feed() => {
+                eprintln!("sleepwatch: refused foreign feed: {e}");
+            }
+            _ => eprintln!("sleepwatch: transport failed: {e}"),
+        }
+        if !out.outcome.open_blocks.is_empty() {
+            eprintln!(
+                "sleepwatch: {} blocks degraded (streams never finished); \
+                 completed verdicts above are final",
+                out.outcome.open_blocks.len()
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    if !out.transport.clean_end || !out.outcome.open_blocks.is_empty() {
+        eprintln!(
+            "sleepwatch: feed ended early; {} blocks degraded (streams never finished)",
+            out.outcome.open_blocks.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// `sleepwatch ingest`: streams a synthetic world through the sharded
 /// live-ingest engine — probe rounds arrive interleaved, are routed
 /// `hash(block) → shard` over bounded queues, and every finished block's
 /// verdict is identical to what `sleepwatch analyze` computes in batch.
+/// With `--listen`/`--connect`/`--from-file` the rounds arrive over the
+/// `SLPWFEED` wire instead of being probed in-process.
 fn cmd_ingest(a: &Args) -> ExitCode {
     let source = WorldSource::new(WorldConfig {
         seed: a.seed,
@@ -298,8 +458,30 @@ fn cmd_ingest(a: &Args) -> ExitCode {
     });
     let cfg = AnalysisConfig::over_days(source.cfg().start_time, a.days);
     let icfg = IngestConfig { shards: a.shards.max(1), ..Default::default() };
+    let wire = match wire_source(a, feed_identity(&source, &cfg)) {
+        Ok(w) => w,
+        Err(msg) => {
+            eprintln!("sleepwatch: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!("ingesting {} blocks over {} days across {} shards…", a.blocks, a.days, icfg.shards);
     let started = std::time::Instant::now();
+    if let Some(mut es) = wire {
+        let out = match &a.journal {
+            Some(path) => {
+                match ingest_source_resumable(&source, &cfg, &icfg, &mut *es, Path::new(path)) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        eprintln!("could not open journal {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => ingest_source(&source, &cfg, &icfg, &mut *es),
+        };
+        return report_transport(a, out, started.elapsed().as_secs_f64(), icfg.shards);
+    }
     let out = match &a.journal {
         Some(path) => match ingest_world_resumable(&source, &cfg, &icfg, Path::new(path)) {
             Ok(out) => out,
@@ -310,7 +492,12 @@ fn cmd_ingest(a: &Args) -> ExitCode {
         },
         None => ingest_world(&source, &cfg, &icfg),
     };
-    let secs = started.elapsed().as_secs_f64();
+    print_ingest_summary(a, &out, started.elapsed().as_secs_f64(), icfg.shards);
+    ExitCode::SUCCESS
+}
+
+/// The shared `ingest` summary block.
+fn print_ingest_summary(a: &Args, out: &sleepwatch::core::IngestOutcome, secs: f64, shards: usize) {
     let s = &out.stats;
     let strict = out.reports.iter().filter(|r| r.summary.class.is_strict()).count();
     println!("blocks finalized    : {}", s.blocks);
@@ -335,10 +522,87 @@ fn cmd_ingest(a: &Args) -> ExitCode {
         println!(
             "throughput          : {:.0} rounds/s ({:.0} rounds/s/shard)",
             s.rounds_routed as f64 / secs,
-            s.rounds_routed as f64 / secs / icfg.shards as f64
+            s.rounds_routed as f64 / secs / shards as f64
         );
     }
-    ExitCode::SUCCESS
+}
+
+/// `sleepwatch feed`: materializes a world's interleaved round stream
+/// once and serves it over the `SLPWFEED` wire — to a file, to a dialing
+/// consumer (`--listen`), or by dialing a listening consumer
+/// (`--connect`).
+fn cmd_feed(a: &Args) -> ExitCode {
+    let source = WorldSource::new(WorldConfig {
+        seed: a.seed,
+        num_blocks: a.blocks,
+        span_days: a.days,
+        ..Default::default()
+    });
+    let cfg = AnalysisConfig::over_days(source.cfg().start_time, a.days);
+    let icfg = IngestConfig { shards: a.shards.max(1), ..Default::default() };
+    let identity = feed_identity(&source, &cfg);
+    let picked = [a.listen.is_some(), a.connect.is_some(), a.to_file.is_some()]
+        .into_iter()
+        .filter(|&b| b)
+        .count();
+    if picked != 1 {
+        eprintln!("sleepwatch: feed needs exactly one of --listen, --connect or --to-file");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("materializing feed: {} blocks over {} days…", a.blocks, a.days);
+    let (events, quarantined) = world_feed(&source, &cfg, &icfg);
+    if !quarantined.is_empty() {
+        eprintln!("note: {} blocks quarantined at probe time", quarantined.len());
+    }
+    let fcfg = FeedConfig::new(identity);
+    if let Some(path) = &a.to_file {
+        let write = std::fs::File::create(path)
+            .and_then(|mut f| write_feed(&mut f, &events, &identity, fcfg.frame_events));
+        return match write {
+            Ok(()) => {
+                println!("{} events written to {path}", events.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sleepwatch: could not write feed {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let backoff = BackoffConfig {
+        base_ms: a.backoff_ms.max(1),
+        attempts: a.reconnect_attempts,
+        ..BackoffConfig::default()
+    };
+    let endpoint = if let Some(addr) = &a.listen {
+        match std::net::TcpListener::bind(addr) {
+            Ok(l) => {
+                eprintln!("serving feed on {addr} (interrupt to stop)…");
+                Endpoint::Accept(l)
+            }
+            Err(e) => {
+                eprintln!("sleepwatch: could not listen on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Endpoint::Dial(a.connect.clone().expect("checked above"))
+    };
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    match serve_feed(&endpoint, &events, &fcfg, &backoff, &stop) {
+        Ok(served) => {
+            println!("feed delivered over {served} connection(s)");
+            ExitCode::SUCCESS
+        }
+        Err(e @ TransportError::Exhausted { .. }) => {
+            eprintln!("sleepwatch: connection budget exhausted: {e}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("sleepwatch: feed failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_countries() -> ExitCode {
@@ -376,6 +640,7 @@ fn main() -> ExitCode {
         "convert" => cmd_convert(&parsed),
         "block" => cmd_block(&parsed),
         "ingest" => cmd_ingest(&parsed),
+        "feed" => cmd_feed(&parsed),
         "countries" => cmd_countries(),
         "info" => cmd_info(),
         "--help" | "-h" | "help" => usage(),

@@ -119,6 +119,103 @@ fn sleepwatch_convert_round_trips_both_formats() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `feed --to-file` then `ingest --from-file` round-trips a small world
+/// over the wire format and finalizes every block cleanly.
+#[test]
+fn sleepwatch_feed_file_round_trips_into_ingest() {
+    let dir = std::env::temp_dir().join(format!("swtest-cli-feed-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let world = ["--blocks", "16", "--days", "1", "--seed", "11"];
+    let feed_path = dir.join("world.feed");
+
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out =
+        cmd.args(["feed", "--to-file"]).arg(&feed_path).args(world).output().expect("spawn feed");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let bytes = std::fs::read(&feed_path).expect("feed written");
+    assert_eq!(&bytes[..8], b"SLPWFEED");
+
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd
+        .args(["ingest", "--from-file"])
+        .arg(&feed_path)
+        .args(world)
+        .output()
+        .expect("spawn ingest");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("blocks finalized    : 16"), "{text}");
+    assert!(text.contains("wire frames"), "{text}");
+
+    // A different world refuses the feed as foreign, with a readable
+    // cause and a nonzero exit.
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd
+        .args(["ingest", "--from-file"])
+        .arg(&feed_path)
+        .args(["--blocks", "16", "--days", "1", "--seed", "12"])
+        .output()
+        .expect("spawn foreign ingest");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("different run"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Malformed or out-of-range transport flag values exit 2 and name the
+/// offending flag on stderr — no panics across the CLI boundary.
+#[test]
+fn sleepwatch_transport_flags_reject_malformed_values() {
+    for (flag, value) in [
+        ("--read-timeout-ms", "banana"),
+        ("--read-timeout-ms", "0"),
+        ("--reconnect-attempts", "-3"),
+        ("--reconnect-attempts", "0"),
+        ("--backoff-ms", "1.5"),
+    ] {
+        let Some(mut cmd) = bin("sleepwatch") else { return };
+        let out = cmd.args(["ingest", flag, value]).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "{flag} {value}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(flag), "stderr does not name {flag}: {err}");
+        assert!(!err.contains("panic"), "{err}");
+    }
+    // Missing value at end of argv.
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd.args(["ingest", "--connect"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--connect"), "{err}");
+
+    // Mutually exclusive sources are refused readably.
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd
+        .args(["ingest", "--listen", "127.0.0.1:0", "--connect", "127.0.0.1:1"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+}
+
+/// A dead upstream drains the reconnect budget: nonzero exit with a
+/// human-readable exhaustion cause, not a hang or a panic.
+#[test]
+fn sleepwatch_ingest_reports_budget_exhaustion() {
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    // Port 1 is never listening; keep the budget tiny so the test is fast.
+    let out = cmd
+        .args(["ingest", "--blocks", "4", "--days", "1", "--connect", "127.0.0.1:1"])
+        .args(["--reconnect-attempts", "2", "--backoff-ms", "1"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("connection budget exhausted"), "{err}");
+    assert!(err.contains("2 attempts"), "{err}");
+    assert!(!err.contains("panic"), "{err}");
+}
+
 #[test]
 fn sleepwatch_rejects_unknown_commands() {
     let Some(mut cmd) = bin("sleepwatch") else { return };
