@@ -46,6 +46,7 @@ pub mod framing {
 }
 pub mod ingest;
 pub mod journal;
+pub mod serve;
 pub mod streaming;
 pub mod timeofday;
 pub mod worldrun;
@@ -72,6 +73,10 @@ pub use ingest::{
     TransportOutcome,
 };
 pub use journal::{JournalError, JournalHeader, JournalVersion, ReplayStats};
+pub use serve::{
+    load_rows, rows_from_dataset_bytes, rows_from_journal_bytes, ConnStats, LoadError, QueryServer,
+    ServeConfig, ServeState,
+};
 pub use streaming::{DetectorSnapshot, OnlineConfig, OnlineDetector};
 pub use timeofday::{activity_pattern, peak_local_hour, peak_utc_hour, ActivityPattern};
 pub use worldrun::{

@@ -1,0 +1,585 @@
+//! The query service: serve an analyzed world's aggregate views over
+//! HTTP (ROADMAP item 1, the serving era).
+//!
+//! A loaded world — an `SLPWBIN1` dataset or a checkpoint journal — is
+//! decoded once into canonical [`DatasetRow`]s, folded into immutable
+//! indexes ([`ServeState`]), and served read-only from every worker
+//! thread: the paper's headline aggregates (diurnal fraction by country,
+//! AS and link type), per-block verdict+phase lookups, the outage-window
+//! series, and ad-hoc cross-dimension filters behind a Mutex-sharded
+//! LRU. The obs registry is exposed at `GET /metrics`.
+//!
+//! The HTTP front end is hand-rolled over `std::net`, same discipline as
+//! `probing::transport`: blocking sockets with read timeouts, bounded
+//! request parsing ([`http`]), keep-alive and pipelining, no
+//! dependencies. Workers share one nonblocking listener and poll a stop
+//! flag, so a [`QueryServer`] shuts down cleanly mid-accept.
+//!
+//! Correctness is pinned by a batch-differential oracle
+//! (`testkit/tests/serve_oracle.rs`): every served body is recomputed by
+//! index-free straight-line folds over the same rows and compared
+//! byte-for-byte — across fault presets, dataset modes, thread counts,
+//! and dataset-vs-journal loading.
+
+pub mod http;
+pub mod index;
+pub mod lru;
+
+use std::collections::HashSet;
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::export::{dataset_rows, DatasetRow};
+use crate::framing::DecodeError;
+use crate::journal::{replay_bytes, replay_bytes_v2, JournalHeader, ReplayOutcome};
+use crate::worldrun::WorldAnalysis;
+use http::{error_body, is_timeout, RequestError};
+use index::Filter;
+use sleepwatch_simnet::WorldConfig;
+
+pub use index::ServeState;
+pub use lru::{LruOutcome, LruShard, ShardedLru};
+
+// The journal file magics, as `crate::journal` writes them (private
+// there; the on-disk encoding is pinned by `header_compat` tests).
+const JOURNAL_MAGIC_V1: u64 = u64::from_be_bytes(*b"SLPWJNL1");
+const JOURNAL_MAGIC_V2: u64 = u64::from_be_bytes(*b"SLPWJNL2");
+
+/// Everything that can stop a world from being loaded for serving.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// Dataset bytes refused by the binary decoder (corruption, missing
+    /// world for a seed-joined file, or a foreign run's identity).
+    Decode(DecodeError),
+    /// The journal's header is intact but names a different run.
+    ForeignJournal {
+        /// Header found in the file.
+        found: JournalHeader,
+    },
+    /// The source decoded cleanly but holds no block rows to serve.
+    Empty,
+    /// The file starts with neither a dataset nor a journal magic.
+    UnknownFormat,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "could not read source: {e}"),
+            LoadError::Decode(e) => write!(f, "could not decode dataset: {e}"),
+            LoadError::ForeignJournal { found } => write!(
+                f,
+                "journal belongs to a different run (seed {}, {} blocks)",
+                found.identity().world_seed,
+                found.identity().num_blocks,
+            ),
+            LoadError::Empty => write!(f, "source holds no block rows to serve"),
+            LoadError::UnknownFormat => {
+                write!(f, "not an SLPWBIN1 dataset or SLPWJNL journal")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<DecodeError> for LoadError {
+    fn from(e: DecodeError) -> Self {
+        LoadError::Decode(e)
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Decodes dataset bytes into servable rows. Seed-joined files need the
+/// producing `world`; foreign-run files are refused by the decoder.
+pub fn rows_from_dataset_bytes(
+    bytes: &[u8],
+    world: Option<&WorldConfig>,
+) -> Result<Vec<DatasetRow>, LoadError> {
+    let rows = crate::binfmt::decode_dataset(bytes, world)?;
+    if rows.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    Ok(rows)
+}
+
+/// Replays journal bytes (either version) into servable rows, refusing
+/// a journal from any run but `expect`'s. Replay tolerates a damaged
+/// tail like crash recovery does; duplicate block records keep the
+/// first occurrence (the crash-resume rule), and rows come out exactly
+/// as [`dataset_rows`] renders them — so a journal-loaded server is
+/// byte-identical to a dataset-loaded one.
+pub fn rows_from_journal_bytes(
+    bytes: &[u8],
+    expect: &JournalHeader,
+) -> Result<Vec<DatasetRow>, LoadError> {
+    let magic = bytes.get(0..8).map(|b| u64::from_le_bytes(b.try_into().expect("eight bytes")));
+    let outcome = match magic {
+        Some(JOURNAL_MAGIC_V1) => replay_bytes(bytes, expect),
+        Some(JOURNAL_MAGIC_V2) => replay_bytes_v2(bytes, expect)?,
+        _ => return Err(LoadError::UnknownFormat),
+    };
+    let mut reports = match outcome {
+        ReplayOutcome::Resumed { reports, .. } => reports,
+        ReplayOutcome::Fresh { .. } => return Err(LoadError::Empty),
+        ReplayOutcome::HeaderMismatch { found } => return Err(LoadError::ForeignJournal { found }),
+    };
+    let mut seen = HashSet::new();
+    reports.retain(|r| seen.insert(r.summary.block_id));
+    reports.sort_by_key(|r| r.summary.block_id);
+    if reports.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    Ok(dataset_rows(&WorldAnalysis { reports, quarantined: Vec::new() }))
+}
+
+/// Loads servable rows from `path`, sniffing the format by magic: an
+/// `SLPWBIN1` dataset (seed-joined files need `world`) or a v1/v2
+/// journal (checked against `expect`).
+pub fn load_rows(
+    path: &Path,
+    world: Option<&WorldConfig>,
+    expect: &JournalHeader,
+) -> Result<Vec<DatasetRow>, LoadError> {
+    let bytes = std::fs::read(path)?;
+    match bytes.get(0..8) {
+        Some(b) if *b == *b"SLPWBIN1" => rows_from_dataset_bytes(&bytes, world),
+        _ => rows_from_journal_bytes(&bytes, expect),
+    }
+}
+
+/// Renders the obs registry for `GET /metrics`: every counter in the
+/// process-global registry, sorted by name.
+pub fn metrics_body() -> String {
+    let snap = sleepwatch_obs::Snapshot::capture(sleepwatch_obs::global());
+    let counters: Vec<String> = snap.counters.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+    format!("{{\"counters\":{{{}}}}}", counters.join(","))
+}
+
+/// Parses `/v1/query`'s query string into a [`Filter`]. Empty string →
+/// empty filter (matches everything). Unknown, duplicate or malformed
+/// parameters are refused with the message for a 400 body.
+fn parse_filter(query: &str) -> Result<Filter, String> {
+    let mut f = Filter::default();
+    if query.is_empty() {
+        return Ok(f);
+    }
+    for pair in query.split('&') {
+        let Some((k, v)) = pair.split_once('=') else {
+            return Err(format!("malformed query parameter {pair:?}"));
+        };
+        if v.is_empty() {
+            return Err(format!("empty value for query parameter \"{k}\""));
+        }
+        match k {
+            "country" => {
+                if f.country.replace(v.to_string()).is_some() {
+                    return Err("duplicate query parameter \"country\"".into());
+                }
+            }
+            "as" => {
+                let n = v.parse().map_err(|_| format!("malformed AS number {v:?}"))?;
+                if f.asn.replace(n).is_some() {
+                    return Err("duplicate query parameter \"as\"".into());
+                }
+            }
+            "link" => {
+                if f.link.replace(v.to_string()).is_some() {
+                    return Err("duplicate query parameter \"link\"".into());
+                }
+            }
+            "stationary" => {
+                let b = match v {
+                    "true" | "1" => true,
+                    "false" | "0" => false,
+                    _ => return Err(format!("malformed stationary value {v:?}")),
+                };
+                if f.stationary.replace(b).is_some() {
+                    return Err("duplicate query parameter \"stationary\"".into());
+                }
+            }
+            _ => return Err(format!("unknown query parameter \"{k}\"")),
+        }
+    }
+    Ok(f)
+}
+
+/// Routes one request target to `(status, reason, body)`. Pure apart
+/// from LRU bookkeeping: same state + same target → same bytes, which is
+/// what the differential oracle holds the server to.
+pub fn route(state: &ServeState, target: &str) -> (u16, &'static str, String) {
+    let obs = sleepwatch_obs::global();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    if query.is_some() && path != "/v1/query" {
+        return (400, "Bad Request", error_body("this route takes no query string"));
+    }
+    let ok = |body: String| (200, "OK", body);
+    let not_found = |what: &str| (404, "Not Found", error_body(what));
+    match path {
+        "/metrics" => ok(metrics_body()),
+        "/v1/summary" => ok(state.summary().to_string()),
+        "/v1/country" => ok(state.countries().to_string()),
+        "/v1/as" => ok(state.ases().to_string()),
+        "/v1/link" => ok(state.links().to_string()),
+        "/v1/outages" => ok(state.outages().to_string()),
+        "/v1/query" => match parse_filter(query.unwrap_or("")) {
+            Ok(filter) => {
+                let (body, outcome) = state.query(&filter);
+                match outcome {
+                    LruOutcome::Hit => obs.serve.lru_hits.incr(),
+                    LruOutcome::Miss { evicted } => {
+                        obs.serve.lru_misses.incr();
+                        if evicted {
+                            obs.serve.lru_evictions.incr();
+                        }
+                    }
+                }
+                ok(body)
+            }
+            Err(msg) => (400, "Bad Request", error_body(&msg)),
+        },
+        _ => {
+            if let Some(code) = path.strip_prefix("/v1/country/") {
+                return match state.country(code) {
+                    Some(body) => ok(body.to_string()),
+                    None => not_found("unknown country"),
+                };
+            }
+            if let Some(asn) = path.strip_prefix("/v1/as/") {
+                return match asn.parse::<u32>() {
+                    Ok(n) => match state.asn(n) {
+                        Some(body) => ok(body.to_string()),
+                        None => not_found("unknown as"),
+                    },
+                    Err(_) => (400, "Bad Request", error_body("malformed AS number")),
+                };
+            }
+            if let Some(kw) = path.strip_prefix("/v1/link/") {
+                return match state.link(kw) {
+                    Some(body) => ok(body.to_string()),
+                    None => not_found("unknown link"),
+                };
+            }
+            if let Some(id) = path.strip_prefix("/v1/block/") {
+                return match id.parse::<u64>() {
+                    Ok(n) => match state.block(n) {
+                        Some(body) => ok(body),
+                        None => not_found("unknown block"),
+                    },
+                    Err(_) => (400, "Bad Request", error_body("malformed block id")),
+                };
+            }
+            not_found("no such route")
+        }
+    }
+}
+
+/// Per-connection accounting, returned by [`serve_streams`] so tests
+/// can assert exact counts without reading the global registry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Requests parsed successfully.
+    pub requests: u64,
+    /// Responses fully written (including 4xx answers).
+    pub responses: u64,
+    /// Protocol violations (malformed/oversized/truncated requests).
+    pub bad_requests: u64,
+    /// Read timeouts waiting for a request.
+    pub timeouts: u64,
+    /// Connections lost while writing a response.
+    pub write_errors: u64,
+    /// Bytes put on the wire.
+    pub bytes_out: u64,
+}
+
+/// Serves one connection's request stream until it closes, errors or
+/// times out. Generic over the transport so chaos tests can drive it
+/// with hand-built readers and writers; [`serve_connection`] adapts a
+/// `TcpStream`.
+///
+/// Keep-alive and pipelining are supported; responses are flushed only
+/// once the read buffer holds no further pipelined request, so a
+/// pipelined batch costs one write syscall per `BufWriter` fill rather
+/// than one per response.
+pub fn serve_streams<R: Read, W: Write>(reader: R, writer: W, state: &ServeState) -> ConnStats {
+    let obs = sleepwatch_obs::global();
+    let mut r = BufReader::new(reader);
+    let mut w = BufWriter::new(writer);
+    let mut s = ConnStats::default();
+    loop {
+        match http::read_request(&mut r) {
+            Ok(req) => {
+                s.requests += 1;
+                obs.serve.requests.incr();
+                let (status, reason, body) = route(state, &req.target);
+                match http::write_response(&mut w, status, reason, &body, req.keep_alive) {
+                    Ok(n) => {
+                        s.responses += 1;
+                        s.bytes_out += n;
+                        obs.serve.bytes_out.add(n);
+                        if status < 400 {
+                            obs.serve.responses_ok.incr();
+                        } else {
+                            obs.serve.responses_err.incr();
+                        }
+                    }
+                    Err(_) => {
+                        s.write_errors += 1;
+                        obs.serve.write_errors.incr();
+                        return s;
+                    }
+                }
+                if !req.keep_alive {
+                    let _ = w.flush();
+                    return s;
+                }
+                if r.buffer().is_empty() && w.flush().is_err() {
+                    s.write_errors += 1;
+                    obs.serve.write_errors.incr();
+                    return s;
+                }
+            }
+            Err(e) => {
+                match &e {
+                    RequestError::Closed => {}
+                    RequestError::Io(io) if is_timeout(io) => {
+                        s.timeouts += 1;
+                        obs.serve.read_timeouts.incr();
+                    }
+                    RequestError::Io(_) => {}
+                    _ => {
+                        s.bad_requests += 1;
+                        obs.serve.bad_requests.incr();
+                    }
+                }
+                if let Some((status, reason, msg)) = http::status_for(&e) {
+                    if let Ok(n) =
+                        http::write_response(&mut w, status, reason, &error_body(msg), false)
+                    {
+                        s.responses += 1;
+                        s.bytes_out += n;
+                        obs.serve.bytes_out.add(n);
+                        obs.serve.responses_err.incr();
+                    }
+                }
+                let _ = w.flush();
+                return s;
+            }
+        }
+    }
+}
+
+/// Adapts one accepted `TcpStream` for [`serve_streams`]: blocking mode
+/// with `read_timeout`, Nagle off (responses are small and latency is
+/// gated), and a cloned handle for the write side.
+pub fn serve_connection(
+    stream: TcpStream,
+    state: &ServeState,
+    read_timeout: Duration,
+) -> io::Result<ConnStats> {
+    sleepwatch_obs::global().serve.connections.incr();
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    let _ = stream.set_nodelay(true);
+    let writer = stream.try_clone()?;
+    Ok(serve_streams(stream, writer, state))
+}
+
+/// Tunables for a [`QueryServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads accepting and serving connections.
+    pub threads: usize,
+    /// How long a worker waits for (the rest of) a request before
+    /// answering 408 and closing — the slowloris bound.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { threads: 4, read_timeout: Duration::from_secs(5) }
+    }
+}
+
+/// Default `/v1/query` LRU capacity (see [`ServeState::build`]).
+pub const DEFAULT_LRU_CAPACITY: usize = 1024;
+
+/// A running query service: `threads` workers sharing one nonblocking
+/// listener and one immutable [`ServeState`]. Dropping without
+/// [`stop`](Self::stop) detaches the workers; stopping joins them.
+#[derive(Debug)]
+pub struct QueryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryServer {
+    /// Starts serving `state` on `listener`.
+    pub fn spawn(
+        listener: TcpListener,
+        state: Arc<ServeState>,
+        cfg: &ServeConfig,
+    ) -> io::Result<QueryServer> {
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let listener = Arc::new(listener);
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = (0..cfg.threads.max(1))
+            .map(|_| {
+                let listener = Arc::clone(&listener);
+                let state = Arc::clone(&state);
+                let stop = Arc::clone(&stop);
+                let timeout = cfg.read_timeout;
+                thread::spawn(move || worker(&listener, &state, &stop, timeout))
+            })
+            .collect();
+        Ok(QueryServer { addr, stop, workers })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals every worker to stop and joins them. Connections being
+    /// served finish their current request stream first.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.workers {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One worker's accept loop: poll the shared nonblocking listener,
+/// serve each accepted connection to completion, nap on `WouldBlock` so
+/// the stop flag is observed promptly.
+fn worker(listener: &TcpListener, state: &ServeState, stop: &AtomicBool, timeout: Duration) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = serve_connection(stream, state, timeout);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleepwatch_spectral::DiurnalClass;
+
+    fn rows() -> Vec<DatasetRow> {
+        (0..6)
+            .map(|id| DatasetRow {
+                block_id: id,
+                class: if id % 3 == 0 { DiurnalClass::Strict } else { DiurnalClass::Relaxed },
+                phase: Some(0.5),
+                mean_a: 0.25,
+                strongest_cpd: 1.0,
+                stationary: id % 2 == 0,
+                outages: 0,
+                probes: 10,
+                lon: Some(1.0),
+                lat: Some(2.0),
+                country: Some(if id < 3 { "US".into() } else { "DE".into() }),
+                centroid: false,
+                alloc: "1994-05".into(),
+                asn: 5,
+                links: vec!["adsl".into()],
+            })
+            .collect()
+    }
+
+    fn state() -> ServeState {
+        ServeState::build(rows(), 8)
+    }
+
+    #[test]
+    fn routes_answer_and_miss() {
+        let s = state();
+        assert_eq!(route(&s, "/v1/summary").0, 200);
+        assert_eq!(route(&s, "/v1/country/US").0, 200);
+        assert_eq!(route(&s, "/v1/country/FR").0, 404);
+        assert_eq!(route(&s, "/v1/as/5").0, 200);
+        assert_eq!(route(&s, "/v1/as/bogus").0, 400);
+        assert_eq!(route(&s, "/v1/block/4").0, 200);
+        assert_eq!(route(&s, "/v1/block/40").0, 404);
+        assert_eq!(route(&s, "/v1/nope").0, 404);
+        assert_eq!(route(&s, "/v1/summary?x=1").0, 400);
+        assert_eq!(route(&s, "/metrics").0, 200);
+    }
+
+    #[test]
+    fn query_filters_parse_strictly() {
+        let s = state();
+        assert_eq!(route(&s, "/v1/query").0, 200);
+        assert_eq!(route(&s, "/v1/query?country=US&stationary=1").0, 200);
+        assert_eq!(route(&s, "/v1/query?country=US&country=DE").0, 400);
+        assert_eq!(route(&s, "/v1/query?as=x").0, 400);
+        assert_eq!(route(&s, "/v1/query?bogus=1").0, 400);
+        assert_eq!(route(&s, "/v1/query?country=").0, 400);
+    }
+
+    #[test]
+    fn pipelined_requests_on_one_connection() {
+        let s = state();
+        let input =
+            b"GET /v1/summary HTTP/1.1\r\n\r\nGET /v1/as/5 HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut out = Vec::new();
+        let stats = serve_streams(&input[..], &mut out, &s);
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.responses, 2);
+        assert_eq!(stats.bytes_out as usize, out.len());
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 2);
+    }
+
+    #[test]
+    fn garbage_after_a_request_gets_one_answer_then_400() {
+        let s = state();
+        let input = b"GET /v1/summary HTTP/1.1\r\n\r\n\x01\x02GARBAGE\r\n\r\n";
+        let mut out = Vec::new();
+        let stats = serve_streams(&input[..], &mut out, &s);
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.bad_requests, 1);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("HTTP/1.1 200 OK"));
+        assert!(text.contains("HTTP/1.1 400 Bad Request"));
+    }
+
+    #[test]
+    fn dataset_and_journal_magics_are_distinguished() {
+        let err = rows_from_journal_bytes(
+            b"not a journal at all",
+            &JournalHeader::from_identity(&crate::framing::RunIdentity {
+                world_seed: 1,
+                num_blocks: 1,
+                rounds: 1,
+                start_time: 0,
+            }),
+        );
+        assert!(matches!(err, Err(LoadError::UnknownFormat)));
+    }
+}

@@ -1,0 +1,454 @@
+//! Property-based tests for the query service's protocol and cache
+//! layers: the request parser is total over arbitrary byte soup and its
+//! limits actually bind, every JSON payload the routes can produce
+//! round-trips through the response serializer (and is well-formed
+//! JSON), and the sharded LRU honours its invariants — capacity never
+//! exceeded, every lookup is exactly a hit or a miss, and evictions
+//! strike the least-recently-used entry, pinned against a
+//! model-checked reference.
+
+use proptest::prelude::*;
+use sleepwatch_core::serve::http::{
+    error_body, json_escape, read_request, write_response, RequestError, MAX_HEADERS,
+    MAX_REQUEST_LINE,
+};
+use sleepwatch_core::serve::index::Filter;
+use sleepwatch_core::serve::{metrics_body, route, LruOutcome, LruShard, ShardedLru};
+use sleepwatch_core::{analyze_world, dataset_rows, AnalysisConfig, ServeState};
+use sleepwatch_simnet::{World, WorldConfig};
+use std::io::BufReader;
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------
+
+/// A small analyzed world: real rows exercise located and unlocated
+/// blocks, every class, phases, and multi-keyword link lists.
+fn state() -> &'static ServeState {
+    static STATE: OnceLock<ServeState> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let wcfg = WorldConfig { num_blocks: 48, seed: 11, span_days: 1.0, ..Default::default() };
+        let world = World::generate(wcfg);
+        let cfg = AnalysisConfig::over_days(world.cfg.start_time, world.cfg.span_days);
+        let analysis = analyze_world(&world, &cfg, 2, None);
+        assert!(analysis.quarantined.is_empty());
+        ServeState::build(dataset_rows(&analysis), 32)
+    })
+}
+
+/// One of every JSON payload type the service can put in a response
+/// body: the group bodies, the list bodies, a block body, the outage
+/// histogram, ad-hoc query results, the metrics dump, and error bodies.
+fn payloads() -> &'static Vec<String> {
+    static BODIES: OnceLock<Vec<String>> = OnceLock::new();
+    BODIES.get_or_init(|| {
+        let st = state();
+        let rows = st.rows();
+        let mut bodies = vec![
+            st.summary().to_string(),
+            st.countries().to_string(),
+            st.ases().to_string(),
+            st.links().to_string(),
+            st.outages().to_string(),
+            metrics_body(),
+            error_body("unknown country"),
+            error_body("unknown query parameter \"bogus\""),
+        ];
+        let code = rows.iter().find_map(|r| r.country.clone()).expect("a located row");
+        bodies.push(st.country(&code).expect("country body").to_string());
+        bodies.push(st.asn(rows[0].asn).expect("as body").to_string());
+        let kw = rows.iter().find_map(|r| r.links.first().cloned()).expect("a link keyword");
+        bodies.push(st.link(&kw).expect("link body").to_string());
+        bodies.push(st.block(rows[0].block_id).expect("block body"));
+        for filter in [
+            Filter::default(),
+            Filter { country: Some(code), ..Filter::default() },
+            Filter { link: Some(kw), stationary: Some(true), ..Filter::default() },
+        ] {
+            bodies.push(st.query(&filter).0);
+        }
+        bodies
+    })
+}
+
+// ---------------------------------------------------------------------
+// A strict little JSON syntax checker — every served body must be
+// well-formed JSON, whatever the route or filter.
+// ---------------------------------------------------------------------
+
+struct Json<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Json<'a> {
+    fn ws(&mut self) {
+        while self.b.get(self.i).is_some_and(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit() || *c == b'.') {
+            self.i += 1;
+        }
+        if self.i == start {
+            Err(format!("empty number at byte {start}"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(&c) = self.b.get(self.i) {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => self.i += 2,
+                c if c < 0x20 => return Err(format!("raw control byte at {}", self.i)),
+                _ => self.i += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.value()?;
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad object separator {other:?} at {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad array separator {other:?} at {}", self.i)),
+            }
+        }
+    }
+}
+
+fn assert_json(body: &str) {
+    let mut p = Json { b: body.as_bytes(), i: 0 };
+    p.value().unwrap_or_else(|e| panic!("not JSON: {e}\nbody: {body}"));
+    p.ws();
+    assert_eq!(p.i, body.len(), "trailing bytes after JSON value: {body}");
+}
+
+/// A minimal response parser for the round-trip property — independent
+/// of the server's writer (testkit's client would be a dependency
+/// cycle from core's test suite).
+fn parse_response(bytes: &[u8]) -> (u16, bool, usize, String) {
+    let text = std::str::from_utf8(bytes).expect("ascii response head");
+    let (head, body) = text.split_once("\r\n\r\n").expect("header terminator");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    assert!(status_line.starts_with("HTTP/1.1 "), "{status_line}");
+    let status: u16 = status_line[9..12].parse().expect("status code");
+    let mut content_length = None;
+    let mut keep_alive = None;
+    for line in lines {
+        let (name, value) = line.split_once(": ").expect("header");
+        match name {
+            "Content-Length" => content_length = Some(value.parse().expect("length")),
+            "Connection" => keep_alive = Some(value == "keep-alive"),
+            "Content-Type" => assert_eq!(value, "application/json"),
+            other => panic!("unexpected header {other}"),
+        }
+    }
+    (status, keep_alive.expect("Connection header"), content_length.expect("length"), body.into())
+}
+
+// ---------------------------------------------------------------------
+// A reference LRU: exact recency order, no sharding, obviously correct.
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct ModelLru {
+    cap: usize,
+    /// Most recent last.
+    order: Vec<(String, String)>,
+}
+
+impl ModelLru {
+    fn get(&mut self, key: &str) -> Option<String> {
+        let i = self.order.iter().position(|(k, _)| k == key)?;
+        let e = self.order.remove(i);
+        let v = e.1.clone();
+        self.order.push(e);
+        Some(v)
+    }
+
+    fn insert(&mut self, key: &str, value: &str) -> bool {
+        if self.cap == 0 {
+            return false;
+        }
+        if let Some(i) = self.order.iter().position(|(k, _)| k == key) {
+            self.order.remove(i);
+            self.order.push((key.into(), value.into()));
+            return false;
+        }
+        let evicted = self.order.len() >= self.cap;
+        if evicted {
+            self.order.remove(0);
+        }
+        self.order.push((key.into(), value.into()));
+        evicted
+    }
+
+    fn oldest(&self) -> Option<&str> {
+        self.order.first().map(|(k, _)| k.as_str())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `read_request` is total over arbitrary byte soup: a typed result,
+    /// never a panic — and any accepted target starts with `/`.
+    #[test]
+    fn request_parser_is_total(bytes in proptest::collection::vec(0u8..=255, 0..4096)) {
+        if let Ok(req) = read_request(&mut BufReader::new(&bytes[..])) {
+            prop_assert!(req.target.starts_with('/'));
+        }
+    }
+
+    /// So is the full stack: routing a parsed target (or the query
+    /// parser behind `/v1/query`) answers every printable target with a
+    /// status and a well-formed JSON body.
+    #[test]
+    fn routing_is_total(target in "/[ -~]{0,64}") {
+        let (status, _reason, body) = route(state(), &target);
+        prop_assert!((200..=505).contains(&status));
+        assert_json(&body);
+    }
+
+    /// Any well-formed GET round-trips through the parser with its
+    /// target intact, whatever padding and header noise surround it.
+    #[test]
+    fn well_formed_requests_parse(
+        path in "/[a-z0-9/]{0,40}",
+        close in any::<bool>(),
+        noise in proptest::collection::vec(("[a-zA-Z-]{1,12}", "[ -9;-~]{0,24}"), 0..8),
+    ) {
+        let mut req = format!("GET {path} HTTP/1.1\r\n");
+        for (name, value) in &noise {
+            // Skip names that collide with semantic headers.
+            if ["connection", "content-length", "transfer-encoding"]
+                .contains(&name.to_ascii_lowercase().as_str())
+            {
+                continue;
+            }
+            req.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if close {
+            req.push_str("Connection: close\r\n");
+        }
+        req.push_str("\r\n");
+        let parsed = read_request(&mut BufReader::new(req.as_bytes())).expect("well-formed");
+        prop_assert_eq!(parsed.target, path);
+        prop_assert_eq!(parsed.keep_alive, !close);
+    }
+
+    /// The request-line limit binds exactly: one byte over is refused.
+    #[test]
+    fn request_line_limit_binds(extra in 0usize..64) {
+        // "GET " + target + " HTTP/1.1" must fit MAX_REQUEST_LINE.
+        let fits = MAX_REQUEST_LINE - 14;
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(fits - 1 + extra));
+        let got = read_request(&mut BufReader::new(long.as_bytes()));
+        if extra == 0 {
+            prop_assert!(got.is_ok(), "exactly at the limit must parse");
+        } else {
+            prop_assert!(
+                matches!(got, Err(RequestError::LineTooLong)),
+                "{} bytes over the limit must be refused", extra
+            );
+        }
+    }
+
+    /// The header-count limit binds, and announced bodies are refused
+    /// whatever the declared length.
+    #[test]
+    fn header_and_body_limits_bind(over in 1usize..32, body_len in 1u64..1_000_000) {
+        let mut many = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + over) {
+            many.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        prop_assert!(matches!(
+            read_request(&mut BufReader::new(many.as_bytes())),
+            Err(RequestError::HeadersTooLarge)
+        ));
+
+        let with_body = format!("GET / HTTP/1.1\r\nContent-Length: {body_len}\r\n\r\n");
+        prop_assert!(matches!(
+            read_request(&mut BufReader::new(with_body.as_bytes())),
+            Err(RequestError::HasBody)
+        ));
+    }
+
+    /// Every JSON payload type the service serves survives the response
+    /// serializer byte-for-byte: status, framing, connection token, and
+    /// body all come back out, the accounted size matches the wire, and
+    /// the body is well-formed JSON.
+    #[test]
+    fn responses_roundtrip_every_payload(
+        which in 0usize..15,
+        status_pick in 0usize..5,
+        keep_alive in any::<bool>(),
+    ) {
+        let status = [200u16, 400, 404, 408, 431][status_pick];
+        let bodies = payloads();
+        prop_assert_eq!(bodies.len(), 15, "payload fixture must cover every type");
+        let body = &bodies[which % bodies.len()];
+        assert_json(body);
+        let mut out = Vec::new();
+        let n = write_response(&mut out, status, "X", body, keep_alive).expect("vec write");
+        prop_assert_eq!(n as usize, out.len(), "accounted bytes must match the wire");
+        let (got_status, got_ka, got_len, got_body) = parse_response(&out);
+        prop_assert_eq!(got_status, status);
+        prop_assert_eq!(got_ka, keep_alive);
+        prop_assert_eq!(got_len, body.len());
+        prop_assert_eq!(&got_body, body);
+    }
+
+    /// `json_escape` output always embeds into a well-formed JSON string.
+    #[test]
+    fn escaped_strings_are_json(s in "[ -~]{0,64}") {
+        assert_json(&format!("{{\"k\":\"{}\"}}", json_escape(&s)));
+    }
+
+    /// Sharded LRU invariants under arbitrary workloads: the configured
+    /// capacity is never exceeded, every lookup is exactly a hit or a
+    /// miss, hits return the key's deterministic value, and an eviction
+    /// is only ever reported by a miss on a full shard.
+    #[test]
+    fn sharded_lru_invariants(
+        cap in 0usize..40,
+        keys in proptest::collection::vec(0u32..24, 1..200),
+    ) {
+        let lru = ShardedLru::new(cap);
+        prop_assert_eq!(lru.capacity(), cap, "capacity distributes exactly");
+        let (mut hits, mut misses) = (0usize, 0usize);
+        for (i, k) in keys.iter().enumerate() {
+            let key = format!("key-{k}");
+            let want = format!("value-{k}");
+            let (got, outcome) = lru.get_or_insert_with(&key, || want.clone());
+            prop_assert_eq!(got, want, "cached value diverged");
+            match outcome {
+                LruOutcome::Hit => hits += 1,
+                LruOutcome::Miss { evicted } => {
+                    misses += 1;
+                    if evicted {
+                        prop_assert_eq!(lru.len(), lru.len().min(cap), "eviction kept us at cap");
+                    }
+                }
+            }
+            prop_assert!(lru.len() <= cap, "capacity exceeded after {} lookups", i + 1);
+            prop_assert_eq!(hits + misses, i + 1, "every lookup is a hit xor a miss");
+        }
+        prop_assert!(lru.is_empty() == (hits + misses == 0) || cap == 0 || !lru.is_empty());
+    }
+
+    /// One shard against the reference model: identical hit/miss
+    /// results, identical eviction decisions, and the eviction candidate
+    /// is always the model's least-recently-used key.
+    #[test]
+    fn shard_matches_reference_model(
+        cap in 1usize..8,
+        ops in proptest::collection::vec((any::<bool>(), 0u32..12), 1..200),
+    ) {
+        let mut shard = LruShard::new(cap);
+        let mut model = ModelLru { cap, ..Default::default() };
+        for (is_get, k) in ops {
+            let key = format!("k{k}");
+            if is_get {
+                prop_assert_eq!(shard.get(&key), model.get(&key), "get({}) diverged", key);
+            } else {
+                let value = format!("v{k}");
+                let evicted = shard.insert(key.clone(), value.clone());
+                let model_evicted = model.insert(&key, &value);
+                prop_assert_eq!(evicted, model_evicted, "eviction decision diverged on {}", key);
+            }
+            prop_assert_eq!(shard.len(), model.order.len());
+            prop_assert!(shard.len() <= cap);
+            prop_assert_eq!(
+                shard.eviction_candidate(),
+                model.oldest(),
+                "eviction order diverged"
+            );
+        }
+    }
+}

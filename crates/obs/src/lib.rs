@@ -67,7 +67,7 @@ pub mod snapshot;
 pub mod stage;
 
 pub use metrics::{Buckets, Counter, Gauge, Histogram, HistogramSnapshot, LengthCounts};
-pub use registry::{Registry, TransportMetrics};
+pub use registry::{Registry, ServeMetrics, TransportMetrics};
 pub use report::{Reporter, RunReport};
 pub use snapshot::Snapshot;
 pub use stage::{Stage, StageTimer};

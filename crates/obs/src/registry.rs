@@ -242,6 +242,33 @@ pub struct TransportMetrics {
     pub heartbeats_missed: Counter,
 }
 
+/// Query-service counters: the HTTP front end, its protocol-error
+/// taxonomy, and the ad-hoc-query LRU.
+pub struct ServeMetrics {
+    /// Connections accepted.
+    pub connections: Counter,
+    /// Requests parsed successfully.
+    pub requests: Counter,
+    /// 2xx responses written.
+    pub responses_ok: Counter,
+    /// 4xx/5xx responses written (routing misses and protocol errors).
+    pub responses_err: Counter,
+    /// Protocol violations (malformed, oversized or truncated requests).
+    pub bad_requests: Counter,
+    /// Read timeouts waiting for a request (the slowloris bound).
+    pub read_timeouts: Counter,
+    /// Connections lost while writing a response.
+    pub write_errors: Counter,
+    /// Ad-hoc query answers served from the LRU.
+    pub lru_hits: Counter,
+    /// Ad-hoc queries folded over the rows (and cached).
+    pub lru_misses: Counter,
+    /// LRU entries evicted to make room.
+    pub lru_evictions: Counter,
+    /// Response bytes put on the wire.
+    pub bytes_out: Counter,
+}
+
 /// The full metric registry, one instance per enabled/disabled state.
 pub struct Registry {
     /// Probing subsystem.
@@ -272,6 +299,8 @@ pub struct Registry {
     pub ingest: IngestMetrics,
     /// Wire transport sources.
     pub transport: TransportMetrics,
+    /// Query service (`core::serve`).
+    pub serve: ServeMetrics,
 }
 
 impl Registry {
@@ -387,6 +416,19 @@ impl Registry {
                 skipped_corrupt: Counter::new(on),
                 backoff_ms: Counter::new(on),
                 heartbeats_missed: Counter::new(on),
+            },
+            serve: ServeMetrics {
+                connections: Counter::new(on),
+                requests: Counter::new(on),
+                responses_ok: Counter::new(on),
+                responses_err: Counter::new(on),
+                bad_requests: Counter::new(on),
+                read_timeouts: Counter::new(on),
+                write_errors: Counter::new(on),
+                lru_hits: Counter::new(on),
+                lru_misses: Counter::new(on),
+                lru_evictions: Counter::new(on),
+                bytes_out: Counter::new(on),
             },
         }
     }

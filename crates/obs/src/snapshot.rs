@@ -105,6 +105,18 @@ impl Snapshot {
         c.insert("transport.skipped_corrupt", tr.skipped_corrupt.get());
         c.insert("transport.backoff_ms", tr.backoff_ms.get());
         c.insert("transport.heartbeats_missed", tr.heartbeats_missed.get());
+        let sv = &reg.serve;
+        c.insert("serve.connections", sv.connections.get());
+        c.insert("serve.requests", sv.requests.get());
+        c.insert("serve.responses_ok", sv.responses_ok.get());
+        c.insert("serve.responses_err", sv.responses_err.get());
+        c.insert("serve.bad_requests", sv.bad_requests.get());
+        c.insert("serve.read_timeouts", sv.read_timeouts.get());
+        c.insert("serve.write_errors", sv.write_errors.get());
+        c.insert("serve.lru_hits", sv.lru_hits.get());
+        c.insert("serve.lru_misses", sv.lru_misses.get());
+        c.insert("serve.lru_evictions", sv.lru_evictions.get());
+        c.insert("serve.bytes_out", sv.bytes_out.get());
 
         s.histograms.insert("cleaning.fill_fraction", reg.cleaning.fill_fraction.snapshot());
         for stage in Stage::ALL {

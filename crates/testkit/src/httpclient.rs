@@ -1,0 +1,116 @@
+//! A tiny std-only HTTP/1.1 client for exercising the query service.
+//!
+//! Just enough protocol for the serve test suites and the CLI e2e test:
+//! one `GET` per call (or a caller-built pipelined batch on a kept-alive
+//! connection), strict `Content-Length` framing, no redirects, no TLS.
+//! Deliberately independent of `core::serve`'s codec — the client parses
+//! responses with its own code so a server-side framing bug cannot
+//! cancel out in the differential oracle.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed response: status code and body bytes as text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code from the response line.
+    pub status: u16,
+    /// Body, exactly `Content-Length` bytes.
+    pub body: String,
+    /// Whether the server offered to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Reads one response off `r`. Panics on malformed framing — in tests a
+/// framing bug must fail loudly, not be smoothed over.
+pub fn read_response<R: BufRead>(r: &mut R) -> HttpResponse {
+    let mut line = String::new();
+    r.read_line(&mut line).expect("read response line");
+    let mut parts = line.trim_end().splitn(3, ' ');
+    assert_eq!(parts.next(), Some("HTTP/1.1"), "response line: {line:?}");
+    let status: u16 = parts.next().expect("status code").parse().expect("numeric status");
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = true;
+    loop {
+        let mut header = String::new();
+        r.read_line(&mut header).expect("read header line");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let (name, value) = header.split_once(':').expect("header colon");
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = Some(value.parse().expect("numeric content-length"));
+            }
+            "connection" => keep_alive = value.eq_ignore_ascii_case("keep-alive"),
+            _ => {}
+        }
+    }
+    let n = content_length.expect("response must carry Content-Length");
+    let mut body = vec![0u8; n];
+    r.read_exact(&mut body).expect("read body");
+    HttpResponse { status, body: String::from_utf8(body).expect("utf-8 body"), keep_alive }
+}
+
+/// Opens a connection, sends one `GET path`, returns the response.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> HttpResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("set read timeout");
+    write!(stream, "GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").expect("send request");
+    read_response(&mut BufReader::new(stream))
+}
+
+/// A kept-alive connection for issuing many `GET`s (optionally
+/// pipelined) without reconnect overhead.
+pub struct HttpConnection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpConnection {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> HttpConnection {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).expect("set read timeout");
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone().expect("clone stream");
+        HttpConnection { reader: BufReader::new(stream), writer }
+    }
+
+    /// One request/response round trip on the kept-alive connection.
+    pub fn get(&mut self, path: &str) -> HttpResponse {
+        write!(self.writer, "GET {path} HTTP/1.1\r\n\r\n").expect("send request");
+        read_response(&mut self.reader)
+    }
+
+    /// Pipelines `paths` in one write, then reads every response in
+    /// order.
+    pub fn get_pipelined(&mut self, paths: &[&str]) -> Vec<HttpResponse> {
+        let mut batch = String::new();
+        for p in paths {
+            batch.push_str(&format!("GET {p} HTTP/1.1\r\n\r\n"));
+        }
+        self.writer.write_all(batch.as_bytes()).expect("send batch");
+        paths.iter().map(|_| read_response(&mut self.reader)).collect()
+    }
+
+    /// Reads one response without sending anything first — for tests
+    /// whose request (or non-request) went out via [`Self::writer`].
+    pub fn get_response_only(&mut self) -> HttpResponse {
+        read_response(&mut self.reader)
+    }
+
+    /// The raw write half, for tests that need to misbehave.
+    pub fn writer(&mut self) -> &mut TcpStream {
+        &mut self.writer
+    }
+
+    /// The buffered read half, for tests that drain the connection to
+    /// EOF after a server-side close.
+    pub fn reader(&mut self) -> &mut BufReader<TcpStream> {
+        &mut self.reader
+    }
+}

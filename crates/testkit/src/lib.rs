@@ -16,7 +16,9 @@
 //!   the panic-quarantine conformance suites;
 //! * [`chaos`] — a deterministic frame-aware TCP proxy injecting wire
 //!   faults (mid-frame severs, byte flips, stalls, duplicate/reordered
-//!   frames, reconnect storms) between a `SLPWFEED` server and client.
+//!   frames, reconnect storms) between a `SLPWFEED` server and client;
+//! * [`httpclient`] — a tiny std-only HTTP client (with its own response
+//!   parser) for the query-service oracle, chaos and e2e suites.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@
 pub mod chaos;
 pub mod fixtures;
 pub mod golden;
+pub mod httpclient;
 pub mod metamorphic;
 pub mod oracles;
 pub mod resilience;

@@ -22,6 +22,11 @@
 //!                      [--listen ADDR | --connect ADDR | --to-file FILE]
 //!                      serve the world's event feed to a remote ingest
 //!                      (or write it to a file)
+//! sleepwatch serve     --listen ADDR (--dataset FILE | --journal FILE)
+//!                      [--blocks N] [--days D] [--seed S] [--threads T]
+//!                      [--lru-capacity N] [--read-timeout-ms T]
+//!                      serve an analyzed world's aggregate views as
+//!                      JSON over HTTP (`GET /v1/...`, `GET /metrics`)
 //! sleepwatch countries                     the embedded country table
 //! sleepwatch info                          versions and configuration
 //! ```
@@ -65,6 +70,7 @@ struct Args {
     from_file: Option<String>,
     to_file: Option<String>,
     strict: bool,
+    lru_capacity: usize,
     read_timeout_ms: u64,
     reconnect_attempts: u32,
     backoff_ms: u64,
@@ -88,6 +94,7 @@ impl Default for Args {
             from_file: None,
             to_file: None,
             strict: false,
+            lru_capacity: sleepwatch::core::serve::DEFAULT_LRU_CAPACITY,
             read_timeout_ms: 500,
             reconnect_attempts: 8,
             backoff_ms: 25,
@@ -106,7 +113,10 @@ fn usage() -> ! {
          [--listen ADDR | --connect ADDR | --from-file FILE] [--strict]\n             \
          [--read-timeout-ms T] [--reconnect-attempts N] [--backoff-ms B]\n       \
          sleepwatch feed [--blocks N] [--days D] [--seed S]\n             \
-         [--listen ADDR | --connect ADDR | --to-file FILE]"
+         [--listen ADDR | --connect ADDR | --to-file FILE]\n       \
+         sleepwatch serve --listen ADDR (--dataset FILE | --journal FILE)\n             \
+         [--blocks N] [--days D] [--seed S] [--threads T]\n             \
+         [--lru-capacity N] [--read-timeout-ms T]"
     );
     std::process::exit(2);
 }
@@ -157,6 +167,7 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Args {
             "--from-file" => a.from_file = Some(flag_value("--from-file", it.next())),
             "--to-file" => a.to_file = Some(flag_value("--to-file", it.next())),
             "--strict" => a.strict = true,
+            "--lru-capacity" => a.lru_capacity = flag_value("--lru-capacity", it.next()),
             "--read-timeout-ms" => {
                 a.read_timeout_ms = flag_value("--read-timeout-ms", it.next());
                 if a.read_timeout_ms == 0 {
@@ -605,6 +616,64 @@ fn cmd_feed(a: &Args) -> ExitCode {
     }
 }
 
+/// `sleepwatch serve`: loads an analyzed world — an `SLPWBIN1` dataset
+/// or a checkpoint journal, checked against this run's identity — and
+/// serves its aggregate views as JSON over HTTP until interrupted.
+fn cmd_serve(a: &Args) -> ExitCode {
+    use sleepwatch::core::serve::{load_rows, QueryServer, ServeConfig, ServeState};
+    use sleepwatch::core::{run_identity, JournalHeader};
+
+    let Some(listen) = &a.listen else {
+        eprintln!("sleepwatch: serve needs --listen ADDR");
+        return ExitCode::FAILURE;
+    };
+    let path = match (&a.dataset, &a.journal) {
+        (Some(d), None) => d,
+        (None, Some(j)) => j,
+        _ => {
+            eprintln!("sleepwatch: serve needs exactly one of --dataset or --journal");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wcfg =
+        WorldConfig { seed: a.seed, num_blocks: a.blocks, span_days: a.days, ..Default::default() };
+    let cfg = AnalysisConfig::over_days(wcfg.start_time, a.days);
+    let expect = JournalHeader::from_identity(&run_identity(a.seed, a.blocks, &cfg));
+    let rows = match load_rows(Path::new(path), Some(&wcfg), &expect) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("sleepwatch: could not load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let blocks = rows.len();
+    let state = std::sync::Arc::new(ServeState::build(rows, a.lru_capacity));
+    let listener = match std::net::TcpListener::bind(listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("sleepwatch: could not listen on {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scfg = ServeConfig {
+        threads: a.threads.max(1),
+        read_timeout: std::time::Duration::from_millis(a.read_timeout_ms),
+    };
+    let server = match QueryServer::spawn(listener, state, &scfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sleepwatch: could not start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serving {blocks} blocks on http://{} ({} threads)", server.addr(), scfg.threads);
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
 fn cmd_countries() -> ExitCode {
     println!("{:<5}{:<24}{:>10}{:>10}{:>8}  region", "code", "name", "GDP", "kWh/cap", "blocks");
     for c in COUNTRIES {
@@ -641,6 +710,7 @@ fn main() -> ExitCode {
         "block" => cmd_block(&parsed),
         "ingest" => cmd_ingest(&parsed),
         "feed" => cmd_feed(&parsed),
+        "serve" => cmd_serve(&parsed),
         "countries" => cmd_countries(),
         "info" => cmd_info(),
         "--help" | "-h" | "help" => usage(),

@@ -216,6 +216,147 @@ fn sleepwatch_ingest_reports_budget_exhaustion() {
     assert!(!err.contains("panic"), "{err}");
 }
 
+/// `serve` end to end: analyze a world into a binary dataset, serve it
+/// on an ephemeral port, and query it over real TCP with a bare-hands
+/// HTTP client.
+#[test]
+fn sleepwatch_serve_answers_queries_end_to_end() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = std::env::temp_dir().join(format!("swtest-cli-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let world = ["--blocks", "24", "--days", "1", "--seed", "9"];
+    let data = dir.join("world.bin");
+
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd
+        .args(["analyze", "--format", "bin", "--dataset"])
+        .arg(&data)
+        .args(world)
+        .output()
+        .expect("spawn analyze");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let mut child = cmd
+        .args(["serve", "--listen", "127.0.0.1:0", "--dataset"])
+        .arg(&data)
+        .args(world)
+        .args(["--threads", "2", "--lru-capacity", "32"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    // The server prints its bound address once it is accepting.
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("read serve banner");
+    assert!(line.contains("serving 24 blocks on http://"), "{line}");
+    let addr = line.split("http://").nth(1).expect("addr in banner");
+    let addr = addr.split_whitespace().next().expect("addr token").to_string();
+
+    // A tiny std TCP client: one request, one response.
+    let fetch = |path: &str| -> (u16, String) {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let status: u16 = raw[9..12].parse().expect("status code");
+        let body = raw.split("\r\n\r\n").nth(1).expect("body").to_string();
+        (status, body)
+    };
+
+    let (status, body) = fetch("/v1/summary");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.starts_with("{\"blocks\":24,"), "{body}");
+    assert!(body.contains("\"diurnal_fraction\":"), "{body}");
+
+    let (status, body) = fetch("/v1/country");
+    assert_eq!(status, 200);
+    assert!(body.starts_with("{\"countries\":["), "{body}");
+
+    let (status, body) = fetch("/v1/block/0");
+    assert_eq!(status, 200);
+    assert!(body.starts_with("{\"block\":0,\"class\":"), "{body}");
+
+    let (status, body) = fetch("/v1/nope");
+    assert_eq!(status, 404);
+    assert_eq!(body, "{\"error\":\"no such route\"}");
+
+    let _ = child.kill();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Malformed serve flag values exit 2 and name the offending flag;
+/// incoherent flag combinations fail readably.
+#[test]
+fn sleepwatch_serve_flags_reject_malformed_values() {
+    for (flag, value) in
+        [("--lru-capacity", "banana"), ("--lru-capacity", "-1"), ("--read-timeout-ms", "0")]
+    {
+        let Some(mut cmd) = bin("sleepwatch") else { return };
+        let out = cmd.args(["serve", flag, value]).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "{flag} {value}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(flag), "stderr does not name {flag}: {err}");
+        assert!(!err.contains("panic"), "{err}");
+    }
+
+    // No listen address.
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd.args(["serve", "--dataset", "x.bin"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--listen"));
+
+    // Zero or two sources.
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd.args(["serve", "--listen", "127.0.0.1:0"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly one of --dataset or --journal"));
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd
+        .args(["serve", "--listen", "127.0.0.1:0", "--dataset", "a", "--journal", "b"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly one of --dataset or --journal"));
+}
+
+/// A seed-joined dataset produced by one world refuses to be served as
+/// another: identity is checked at load, before any socket is opened.
+#[test]
+fn sleepwatch_serve_refuses_foreign_datasets() {
+    let dir = std::env::temp_dir().join(format!("swtest-cli-serve-foreign-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let data = dir.join("world.bin");
+
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd
+        .args(["analyze", "--format", "bin", "--dataset"])
+        .arg(&data)
+        .args(["--blocks", "24", "--days", "1", "--seed", "9"])
+        .output()
+        .expect("spawn analyze");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let Some(mut cmd) = bin("sleepwatch") else { return };
+    let out = cmd
+        .args(["serve", "--listen", "127.0.0.1:0", "--dataset"])
+        .arg(&data)
+        .args(["--blocks", "24", "--days", "1", "--seed", "10"])
+        .output()
+        .expect("spawn foreign serve");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("could not load"), "{err}");
+    assert!(err.contains("different run"), "{err}");
+    assert!(!err.contains("panic"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn sleepwatch_rejects_unknown_commands() {
     let Some(mut cmd) = bin("sleepwatch") else { return };
